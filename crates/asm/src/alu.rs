@@ -1,0 +1,354 @@
+//! ALU semantics and the `ALUFM` mapping memory (§6.3.3).
+//!
+//! The 4-bit `ALUOp` field does not control the ALU directly; it indexes
+//! `ALUFM`, "a 16 word memory which maps the four-bit ALUOp field into the
+//! six bits required to control the ALU".  [`AluFunction`] is the decoded
+//! form of those six bits; [`default_alufm`] is the mapping the microcode
+//! loader installs at boot (and which the named [`AluOp`](crate::AluOp)
+//! constants assume).
+
+use crate::error::AsmError;
+use dorado_base::Word;
+
+/// A decoded 6-bit ALU control value: the operation the ALU actually
+/// performs in the second half of the instruction's first execution cycle.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Default)]
+#[repr(u8)]
+pub enum AluFunction {
+    /// `A + B`.
+    #[default]
+    Add = 0,
+    /// `A - B` (implemented as `A + NOT B + 1`).
+    Sub = 1,
+    /// `A AND B`.
+    And = 2,
+    /// `A OR B`.
+    Or = 3,
+    /// `A XOR B`.
+    Xor = 4,
+    /// Pass `A`.
+    PassA = 5,
+    /// Pass `B`.
+    PassB = 6,
+    /// `NOT A`.
+    NotA = 7,
+    /// `A + 1`.
+    IncA = 8,
+    /// `A - 1`.
+    DecA = 9,
+    /// `A + B + saved carry` — non-standard carry for multi-precision
+    /// arithmetic (§5.5 mentions "non-standard carry and shift operations").
+    AddCarry = 10,
+    /// `A AND NOT B`.
+    AndNotB = 11,
+    /// `A - B - saved borrow`.
+    SubBorrow = 12,
+    /// `A OR NOT B`.
+    OrNotB = 13,
+    /// Constant zero.
+    Zero = 14,
+    /// `NOT (A XOR B)`.
+    Xnor = 15,
+    /// `NOT B`.
+    NotB = 16,
+    /// `A + B + 1`.
+    AddOne = 17,
+    /// `NOT (A AND B)`.
+    Nand = 18,
+    /// `NOT (A OR B)`.
+    Nor = 19,
+    /// Constant all-ones.
+    Ones = 20,
+    /// `B - A`.
+    RSub = 21,
+    /// `A + A` (left shift by one with carry out).
+    Double = 22,
+    /// `B + 1`.
+    IncB = 23,
+}
+
+impl AluFunction {
+    /// Decodes a raw 6-bit control value.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`AsmError::ReservedEncoding`] for undefined encodings.
+    pub fn decode(raw: u8) -> Result<Self, AsmError> {
+        Ok(match raw {
+            0 => AluFunction::Add,
+            1 => AluFunction::Sub,
+            2 => AluFunction::And,
+            3 => AluFunction::Or,
+            4 => AluFunction::Xor,
+            5 => AluFunction::PassA,
+            6 => AluFunction::PassB,
+            7 => AluFunction::NotA,
+            8 => AluFunction::IncA,
+            9 => AluFunction::DecA,
+            10 => AluFunction::AddCarry,
+            11 => AluFunction::AndNotB,
+            12 => AluFunction::SubBorrow,
+            13 => AluFunction::OrNotB,
+            14 => AluFunction::Zero,
+            15 => AluFunction::Xnor,
+            16 => AluFunction::NotB,
+            17 => AluFunction::AddOne,
+            18 => AluFunction::Nand,
+            19 => AluFunction::Nor,
+            20 => AluFunction::Ones,
+            21 => AluFunction::RSub,
+            22 => AluFunction::Double,
+            23 => AluFunction::IncB,
+            _ => {
+                return Err(AsmError::ReservedEncoding {
+                    field: "AluFunction",
+                    value: raw.into(),
+                })
+            }
+        })
+    }
+
+    /// The raw 6-bit control value.
+    #[inline]
+    pub fn raw(self) -> u8 {
+        self as u8
+    }
+
+    /// Whether this function is arithmetic (produces meaningful carry and
+    /// overflow outputs).
+    pub fn is_arithmetic(self) -> bool {
+        matches!(
+            self,
+            AluFunction::Add
+                | AluFunction::Sub
+                | AluFunction::IncA
+                | AluFunction::DecA
+                | AluFunction::AddCarry
+                | AluFunction::SubBorrow
+                | AluFunction::AddOne
+                | AluFunction::RSub
+                | AluFunction::Double
+                | AluFunction::IncB
+        )
+    }
+}
+
+/// The outputs of one ALU evaluation.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct AluOutput {
+    /// The 16-bit result placed on the RESULT bus.
+    pub result: Word,
+    /// Carry out of bit 15 (for subtraction: *no borrow*).  False for
+    /// logical operations.
+    pub carry: bool,
+    /// Signed (two's-complement) overflow.  False for logical operations.
+    pub overflow: bool,
+}
+
+fn add3(a: Word, b: Word, carry_in: bool) -> AluOutput {
+    let wide = u32::from(a) + u32::from(b) + u32::from(carry_in);
+    let result = wide as Word;
+    let carry = wide > 0xffff;
+    // Signed overflow: both operands same sign, result differs.
+    let overflow = ((a ^ result) & (b ^ result) & 0x8000) != 0;
+    AluOutput {
+        result,
+        carry,
+        overflow,
+    }
+}
+
+fn logical(result: Word) -> AluOutput {
+    AluOutput {
+        result,
+        carry: false,
+        overflow: false,
+    }
+}
+
+/// Evaluates an ALU function.
+///
+/// `saved_carry` is the carry output of the most recent arithmetic operation
+/// by the same task, used by [`AluFunction::AddCarry`] and
+/// [`AluFunction::SubBorrow`] (`saved_carry` = *no borrow* after a
+/// subtraction, following the carry convention).
+///
+/// # Examples
+///
+/// ```
+/// use dorado_asm::{alu_eval, AluFunction};
+/// let out = alu_eval(AluFunction::Add, 0xffff, 1, false);
+/// assert_eq!(out.result, 0);
+/// assert!(out.carry);
+/// ```
+pub fn alu_eval(f: AluFunction, a: Word, b: Word, saved_carry: bool) -> AluOutput {
+    match f {
+        AluFunction::Add => add3(a, b, false),
+        AluFunction::AddOne => add3(a, b, true),
+        AluFunction::AddCarry => add3(a, b, saved_carry),
+        AluFunction::Sub => add3(a, !b, true),
+        AluFunction::SubBorrow => add3(a, !b, saved_carry),
+        AluFunction::RSub => add3(b, !a, true),
+        AluFunction::IncA => add3(a, 0, true),
+        AluFunction::DecA => add3(a, 0xffff, false),
+        AluFunction::IncB => add3(b, 0, true),
+        AluFunction::Double => add3(a, a, false),
+        AluFunction::And => logical(a & b),
+        AluFunction::Or => logical(a | b),
+        AluFunction::Xor => logical(a ^ b),
+        AluFunction::Xnor => logical(!(a ^ b)),
+        AluFunction::Nand => logical(!(a & b)),
+        AluFunction::Nor => logical(!(a | b)),
+        AluFunction::AndNotB => logical(a & !b),
+        AluFunction::OrNotB => logical(a | !b),
+        AluFunction::PassA => logical(a),
+        AluFunction::PassB => logical(b),
+        AluFunction::NotA => logical(!a),
+        AluFunction::NotB => logical(!b),
+        AluFunction::Zero => logical(0),
+        AluFunction::Ones => logical(0xffff),
+    }
+}
+
+/// The default `ALUFM` contents: the identity-style mapping assumed by the
+/// named [`AluOp`](crate::AluOp) constants.
+pub fn default_alufm() -> [AluFunction; 16] {
+    [
+        AluFunction::Add,
+        AluFunction::Sub,
+        AluFunction::And,
+        AluFunction::Or,
+        AluFunction::Xor,
+        AluFunction::PassA,
+        AluFunction::PassB,
+        AluFunction::NotA,
+        AluFunction::IncA,
+        AluFunction::DecA,
+        AluFunction::AddCarry,
+        AluFunction::AndNotB,
+        AluFunction::SubBorrow,
+        AluFunction::OrNotB,
+        AluFunction::Zero,
+        AluFunction::Xnor,
+    ]
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn add_basic() {
+        let o = alu_eval(AluFunction::Add, 2, 3, false);
+        assert_eq!(o.result, 5);
+        assert!(!o.carry && !o.overflow);
+    }
+
+    #[test]
+    fn add_carry_and_overflow() {
+        let o = alu_eval(AluFunction::Add, 0x8000, 0x8000, false);
+        assert_eq!(o.result, 0);
+        assert!(o.carry);
+        assert!(o.overflow); // -32768 + -32768 overflows
+        let o = alu_eval(AluFunction::Add, 0x7fff, 1, false);
+        assert_eq!(o.result, 0x8000);
+        assert!(!o.carry);
+        assert!(o.overflow); // 32767 + 1 overflows
+    }
+
+    #[test]
+    fn sub_is_twos_complement() {
+        let o = alu_eval(AluFunction::Sub, 5, 3, false);
+        assert_eq!(o.result, 2);
+        assert!(o.carry); // no borrow
+        let o = alu_eval(AluFunction::Sub, 3, 5, false);
+        assert_eq!(o.result, 0xfffe); // -2
+        assert!(!o.carry); // borrow
+        let o = alu_eval(AluFunction::RSub, 3, 5, false);
+        assert_eq!(o.result, 2);
+    }
+
+    #[test]
+    fn saved_carry_chains() {
+        // 32-bit add: 0x0001_ffff + 0x0000_0001 = 0x0002_0000
+        let lo = alu_eval(AluFunction::Add, 0xffff, 0x0001, false);
+        assert_eq!(lo.result, 0);
+        assert!(lo.carry);
+        let hi = alu_eval(AluFunction::AddCarry, 0x0001, 0x0000, lo.carry);
+        assert_eq!(hi.result, 2);
+        // 32-bit subtract with borrow: 0x0002_0000 - 0x0000_0001
+        let lo = alu_eval(AluFunction::Sub, 0x0000, 0x0001, false);
+        assert_eq!(lo.result, 0xffff);
+        assert!(!lo.carry); // borrow
+        let hi = alu_eval(AluFunction::SubBorrow, 0x0002, 0x0000, lo.carry);
+        assert_eq!(hi.result, 0x0001);
+    }
+
+    #[test]
+    fn inc_dec() {
+        assert_eq!(alu_eval(AluFunction::IncA, 0xffff, 0, false).result, 0);
+        assert!(alu_eval(AluFunction::IncA, 0xffff, 0, false).carry);
+        assert_eq!(alu_eval(AluFunction::DecA, 0, 0, false).result, 0xffff);
+        assert_eq!(alu_eval(AluFunction::IncB, 0, 7, false).result, 8);
+    }
+
+    #[test]
+    fn logic_ops() {
+        assert_eq!(
+            alu_eval(AluFunction::And, 0b1100, 0b1010, false).result,
+            0b1000
+        );
+        assert_eq!(
+            alu_eval(AluFunction::Or, 0b1100, 0b1010, false).result,
+            0b1110
+        );
+        assert_eq!(
+            alu_eval(AluFunction::Xor, 0b1100, 0b1010, false).result,
+            0b0110
+        );
+        assert_eq!(
+            alu_eval(AluFunction::AndNotB, 0b1100, 0b1010, false).result,
+            0b0100
+        );
+        assert_eq!(alu_eval(AluFunction::NotA, 0, 0, false).result, 0xffff);
+        assert_eq!(alu_eval(AluFunction::Zero, 0xdead, 0xbeef, false).result, 0);
+        assert_eq!(
+            alu_eval(AluFunction::Ones, 0xdead, 0xbeef, false).result,
+            0xffff
+        );
+    }
+
+    #[test]
+    fn double_shifts_left() {
+        let o = alu_eval(AluFunction::Double, 0x8001, 0, false);
+        assert_eq!(o.result, 0x0002);
+        assert!(o.carry);
+    }
+
+    #[test]
+    fn decode_roundtrip() {
+        for raw in 0..24u8 {
+            let f = AluFunction::decode(raw).unwrap();
+            assert_eq!(f.raw(), raw);
+        }
+        assert!(AluFunction::decode(63).is_err());
+    }
+
+    #[test]
+    fn default_alufm_matches_aluop_constants() {
+        use crate::fields::AluOp;
+        let fm = default_alufm();
+        assert_eq!(fm[AluOp::ADD.index()], AluFunction::Add);
+        assert_eq!(fm[AluOp::SUB.index()], AluFunction::Sub);
+        assert_eq!(fm[AluOp::XNOR.index()], AluFunction::Xnor);
+        assert_eq!(fm[AluOp::ZERO.index()], AluFunction::Zero);
+    }
+
+    #[test]
+    fn arithmetic_classification() {
+        assert!(AluFunction::Add.is_arithmetic());
+        assert!(AluFunction::SubBorrow.is_arithmetic());
+        assert!(!AluFunction::And.is_arithmetic());
+        assert!(!AluFunction::PassB.is_arithmetic());
+    }
+}

@@ -1,0 +1,133 @@
+//! Byte-form constants (§5.9).
+//!
+//! "A large fraction of the constants used in microcoding are either small
+//! positive or negative (2's complement) integers, or sparsely populated bit
+//! vectors, with the property that one of the two eight bit fields in the
+//! constant is all zeroes or all ones.  Thus a useful subset can be
+//! specified using the eight bits of FF for one byte of the constant and two
+//! other bits for the other byte value and position. ... most 16 bit
+//! constants can be specified in one microinstruction, and any constant can
+//! be assembled in two microinstructions."
+
+use crate::fields::BSel;
+use dorado_base::Word;
+
+/// Finds a one-instruction encoding for `value`, if it is in byte form:
+/// returns the constant `BSelect` variant and the FF byte.
+///
+/// When both bytes of `value` qualify (e.g. `0x00ff`), the low-byte
+/// position is preferred.
+///
+/// # Examples
+///
+/// ```
+/// use dorado_asm::{const_bsel, BSel};
+/// assert_eq!(const_bsel(0x0042), Some((BSel::ConstLo0, 0x42)));
+/// assert_eq!(const_bsel(0xff42), Some((BSel::ConstLo1, 0x42)));
+/// assert_eq!(const_bsel(0x4200), Some((BSel::ConstHi0, 0x42)));
+/// assert_eq!(const_bsel(0x42ff), Some((BSel::ConstHi1, 0x42)));
+/// assert_eq!(const_bsel(0x1234), None);
+/// ```
+pub fn const_bsel(value: Word) -> Option<(BSel, u8)> {
+    let hi = (value >> 8) as u8;
+    let lo = (value & 0xff) as u8;
+    match (hi, lo) {
+        (0x00, b) => Some((BSel::ConstLo0, b)),
+        (0xff, b) => Some((BSel::ConstLo1, b)),
+        (b, 0x00) => Some((BSel::ConstHi0, b)),
+        (b, 0xff) => Some((BSel::ConstHi1, b)),
+        _ => None,
+    }
+}
+
+/// The constant a (`BSelect`, FF) combination places on the B bus, or `None`
+/// if `bsel` is not a constant selection.
+///
+/// # Examples
+///
+/// ```
+/// use dorado_asm::{const_value, BSel};
+/// assert_eq!(const_value(BSel::ConstLo1, 0x42), Some(0xff42));
+/// assert_eq!(const_value(BSel::T, 0x42), None);
+/// ```
+pub fn const_value(bsel: BSel, ff: u8) -> Option<Word> {
+    let ff = Word::from(ff);
+    match bsel {
+        BSel::ConstLo0 => Some(ff),
+        BSel::ConstLo1 => Some(0xff00 | ff),
+        BSel::ConstHi0 => Some(ff << 8),
+        BSel::ConstHi1 => Some((ff << 8) | 0x00ff),
+        _ => None,
+    }
+}
+
+/// The number of microinstructions needed to materialize `value`: 1 if it
+/// is in byte form, 2 otherwise ("any constant can be assembled in two
+/// microinstructions", §5.9 — e.g. load the high byte, then OR in the low).
+pub fn synthesis_cost(value: Word) -> usize {
+    if const_bsel(value).is_some() {
+        1
+    } else {
+        2
+    }
+}
+
+/// Decomposes an arbitrary constant into two byte-form parts whose bitwise
+/// OR is `value`, for two-instruction synthesis.  The first part is always
+/// `ConstHi0`-form, the second `ConstLo0`-form.
+pub fn two_part(value: Word) -> [(BSel, u8); 2] {
+    [
+        (BSel::ConstHi0, (value >> 8) as u8),
+        (BSel::ConstLo0, (value & 0xff) as u8),
+    ]
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn small_integers_are_one_instruction() {
+        // Small positive and negative integers: the common cases of §5.9.
+        for v in 0..=255u16 {
+            assert_eq!(synthesis_cost(v), 1, "{v}");
+        }
+        for v in 1..=256u16 {
+            let neg = 0u16.wrapping_sub(v); // -1..=-256 are 0xff00..=0xffff
+            assert_eq!(synthesis_cost(neg), 1, "{neg:#06x}");
+        }
+        assert_eq!(synthesis_cost(0xffff), 1);
+        assert_eq!(synthesis_cost(0x8000), 1);
+    }
+
+    #[test]
+    fn roundtrip_one_instruction_constants() {
+        for v in [0u16, 1, 0xff, 0x100, 0x4200, 0xff01, 0x01ff, 0xffff, 0x8000] {
+            let (bsel, ff) = const_bsel(v).unwrap_or_else(|| panic!("{v:#06x}"));
+            assert_eq!(const_value(bsel, ff), Some(v), "{v:#06x}");
+        }
+    }
+
+    #[test]
+    fn general_constants_cost_two() {
+        assert_eq!(synthesis_cost(0x1234), 2);
+        assert_eq!(synthesis_cost(0xabcd), 2);
+    }
+
+    #[test]
+    fn two_part_or_reconstructs() {
+        for v in [0x1234u16, 0xabcd, 0x00ff, 0xffff, 0] {
+            let [(b1, f1), (b2, f2)] = two_part(v);
+            let part1 = const_value(b1, f1).unwrap();
+            let part2 = const_value(b2, f2).unwrap();
+            assert_eq!(part1 | part2, v, "{v:#06x}");
+        }
+    }
+
+    #[test]
+    fn non_constant_bsel_gives_none() {
+        for b in [BSel::Rm, BSel::T, BSel::Q, BSel::MemData] {
+            assert_eq!(const_value(b, 0x42), None);
+        }
+    }
+}

@@ -1,0 +1,451 @@
+//! The FF "catchall" function field (§5.5, §6.3.1).
+//!
+//! "The Dorado encodes most of its operations ... in an eight bit function
+//! field called FF \[which\] is used to invoke all of the less frequently used
+//! operations that the processor can do: controlling I/O busses, reading and
+//! setting state in the memory and IFU, extracting an arbitrary field from a
+//! word, reading and loading most registers, non-standard carry and shift
+//! operations, and loading small constants into small registers.  FF can
+//! also serve as an eight bit constant or as part of a microstore address."
+//!
+//! [`FfOp`] is the decoded form; the encoding (in 8 bits) is:
+//!
+//! | Range        | Meaning |
+//! |--------------|---------|
+//! | `0x00`       | no operation |
+//! | `0x01..=0x08`| read a small register onto RESULT |
+//! | `0x09..=0x0F`| multiply/divide steps, halt, slow/fast I/O transfers |
+//! | `0x10..=0x17`| load a small register from B |
+//! | `0x18..=0x19`| decrement COUNT; clear the stack-error flag |
+//! | `0x20..=0x3F`| `MEMBASE` ← 5-bit immediate |
+//! | `0x40..=0x5F`| `COUNT` ← 5-bit immediate |
+//! | `0x60..=0x6F`| make task *n* ready (software wakeup) |
+//! | `0x80..=0x9F`| `SHIFTCTL` ← left-cycle-*n* (5-bit immediate) |
+//! | `0xC0..=0xC2`| RESULT ← shifter output (no mask / zero mask / MEMDATA mask) |
+//! | `0xD0..=0xDF`| `ALUFM[n]` ← B |
+//!
+//! All other encodings are reserved and fail to decode.  When `BSelect`
+//! names a byte-form constant, or `NextControl` is a long (cross-page)
+//! transfer, the FF byte carries the constant or page instead and is *not*
+//! decoded as a function — the sharing the paper describes.
+
+use crate::error::AsmError;
+use dorado_base::TaskId;
+
+/// A decoded FF function.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Default)]
+#[non_exhaustive]
+pub enum FfOp {
+    /// No FF operation this cycle.
+    #[default]
+    Nop,
+    /// RESULT ← RBASE (4 bits, zero-extended).
+    ReadRBase,
+    /// RESULT ← STACKPTR (8 bits).
+    ReadStackPtr,
+    /// RESULT ← COUNT.
+    ReadCount,
+    /// RESULT ← SHIFTCTL.
+    ReadShiftCtl,
+    /// RESULT ← LINK (the task's subroutine linkage register, §6.2.3).
+    ReadLink,
+    /// RESULT ← Q.
+    ReadQ,
+    /// RESULT ← MEMBASE (5 bits, zero-extended).
+    ReadMemBase,
+    /// RESULT ← IOADDRESS (task-specific device address register).
+    ReadIoAddress,
+    /// One multiply step: Q and the ALU cooperate (§6.3.3: Q "is
+    /// automatically shifted in useful ways during multiply and divide
+    /// step microinstructions").
+    MulStep,
+    /// One (restoring) divide step.
+    DivStep,
+    /// Stop the simulation (stands in for the console microcomputer's halt).
+    Halt,
+    /// Slow I/O input: RESULT ← IODATA from the device at IOADDRESS (§5.8).
+    IoInput,
+    /// Slow I/O output: IODATA ← B, to the device at IOADDRESS (§5.8).
+    IoOutput,
+    /// Fast I/O: move one 16-word munch from storage (address `base\[MEMBASE\]
+    /// + A`) to the device at IOADDRESS, bypassing the cache (§5.8).
+    IoFetch16,
+    /// Fast I/O: move one 16-word munch from the device at IOADDRESS to
+    /// storage, bypassing the cache.
+    IoStore16,
+    /// RBASE ← B (low 4 bits).
+    LoadRBase,
+    /// MEMBASE ← B (low 5 bits).
+    LoadMemBase,
+    /// STACKPTR ← B (low 8 bits).
+    LoadStackPtr,
+    /// COUNT ← B.
+    LoadCount,
+    /// SHIFTCTL ← B.
+    LoadShiftCtl,
+    /// Q ← B.
+    LoadQ,
+    /// IOADDRESS ← B.
+    LoadIoAddress,
+    /// LINK ← B ("LINK can also be loaded from a data bus, so that control
+    /// can be sent to an arbitrary computed address", §6.2.3).
+    LoadLink,
+    /// COUNT ← COUNT − 1, updating the CntZero branch condition (§6.3.3).
+    DecCount,
+    /// Clear the sticky stack-error flag.
+    ResetStackError,
+    /// IFU: load the macro program counter (byte address) from B, starting
+    /// prefetch at the new location — the macro-jump primitive (§5.8).
+    IfuLoadPc,
+    /// IFU: RESULT ← the macro program counter (byte address, low 16 bits).
+    IfuReadPc,
+    /// Explicitly notify the device at IOADDRESS that its wakeup has been
+    /// served.  Unused on the shipped Dorado (the NEXT-bus broadcast does
+    /// this for free); required by the §6.2.1 "simpler design" ablation in
+    /// which "the microcode \[must\] explicitly notify its device when the
+    /// wakeup should be removed", raising the task grain from 2 to 3 cycles.
+    IoNotify,
+    /// Memory base register `base[MEMBASE]` ← B, zero-extended to 28 bits
+    /// ("reading and setting state in the memory", §5.5; the B bus "is
+    /// extended to the remainder of the machine ... for the transfer of
+    /// status and control", §5.8).
+    LoadBase,
+    /// RESULT ← low 16 bits of `base[MEMBASE]`.
+    ReadBase,
+    /// TPC[B₁₅₋₁₂] ← B₁₁₋₀: write another task's program counter ("data
+    /// paths for reading and writing [the microstore] ... allow reading
+    /// and writing TPC", §6.2.3) — how the emulator bootstraps I/O tasks.
+    WriteTpc,
+    /// RESULT ← TPC[B₁₅₋₁₂]: read another task's program counter.
+    ReadTpc,
+    /// MEMBASE ← immediate (0–31).
+    LoadMemBaseImm(u8),
+    /// COUNT ← immediate (0–31).
+    LoadCountImm(u8),
+    /// Set the READY bit for a task: a software wakeup ("A task can be
+    /// explicitly made ready by a microcode function", §6.2.1).
+    WakeTask(TaskId),
+    /// SHIFTCTL ← left cycle by immediate (0–31), no masks.
+    ShiftCtlImm(u8),
+    /// RESULT ← shifter output, unmasked (§6.3.4).
+    ShOut,
+    /// RESULT ← shifter output, masked positions zeroed.
+    ShOutZ,
+    /// RESULT ← shifter output, masked positions filled from MEMDATA.
+    ShOutM,
+    /// ALUFM\[n\] ← B (low 6 bits): remap an ALUOp encoding (§6.3.3).
+    LoadAluFm(u8),
+}
+
+impl FfOp {
+    /// Encodes the operation into the 8-bit FF field.
+    pub fn encode(self) -> u8 {
+        match self {
+            FfOp::Nop => 0x00,
+            FfOp::ReadRBase => 0x01,
+            FfOp::ReadStackPtr => 0x02,
+            FfOp::ReadCount => 0x03,
+            FfOp::ReadShiftCtl => 0x04,
+            FfOp::ReadLink => 0x05,
+            FfOp::ReadQ => 0x06,
+            FfOp::ReadMemBase => 0x07,
+            FfOp::ReadIoAddress => 0x08,
+            FfOp::MulStep => 0x09,
+            FfOp::DivStep => 0x0a,
+            FfOp::Halt => 0x0b,
+            FfOp::IoInput => 0x0c,
+            FfOp::IoOutput => 0x0d,
+            FfOp::IoFetch16 => 0x0e,
+            FfOp::IoStore16 => 0x0f,
+            FfOp::LoadRBase => 0x10,
+            FfOp::LoadMemBase => 0x11,
+            FfOp::LoadStackPtr => 0x12,
+            FfOp::LoadCount => 0x13,
+            FfOp::LoadShiftCtl => 0x14,
+            FfOp::LoadQ => 0x15,
+            FfOp::LoadIoAddress => 0x16,
+            FfOp::LoadLink => 0x17,
+            FfOp::DecCount => 0x18,
+            FfOp::ResetStackError => 0x19,
+            FfOp::IfuLoadPc => 0x1a,
+            FfOp::IfuReadPc => 0x1b,
+            FfOp::IoNotify => 0x1c,
+            FfOp::LoadBase => 0x1d,
+            FfOp::ReadBase => 0x1e,
+            FfOp::WriteTpc => 0x1f,
+            FfOp::ReadTpc => 0xc4,
+            FfOp::LoadMemBaseImm(n) => {
+                debug_assert!(n < 32);
+                0x20 | (n & 0x1f)
+            }
+            FfOp::LoadCountImm(n) => {
+                debug_assert!(n < 32);
+                0x40 | (n & 0x1f)
+            }
+            FfOp::WakeTask(t) => 0x60 | t.number(),
+            FfOp::ShiftCtlImm(n) => {
+                debug_assert!(n < 32);
+                0x80 | (n & 0x1f)
+            }
+            FfOp::ShOut => 0xc0,
+            FfOp::ShOutZ => 0xc1,
+            FfOp::ShOutM => 0xc2,
+            FfOp::LoadAluFm(n) => {
+                debug_assert!(n < 16);
+                0xd0 | (n & 0xf)
+            }
+        }
+    }
+
+    /// Decodes an 8-bit FF field.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`AsmError::ReservedEncoding`] for undefined encodings.
+    pub fn decode(raw: u8) -> Result<Self, AsmError> {
+        Ok(match raw {
+            0x00 => FfOp::Nop,
+            0x01 => FfOp::ReadRBase,
+            0x02 => FfOp::ReadStackPtr,
+            0x03 => FfOp::ReadCount,
+            0x04 => FfOp::ReadShiftCtl,
+            0x05 => FfOp::ReadLink,
+            0x06 => FfOp::ReadQ,
+            0x07 => FfOp::ReadMemBase,
+            0x08 => FfOp::ReadIoAddress,
+            0x09 => FfOp::MulStep,
+            0x0a => FfOp::DivStep,
+            0x0b => FfOp::Halt,
+            0x0c => FfOp::IoInput,
+            0x0d => FfOp::IoOutput,
+            0x0e => FfOp::IoFetch16,
+            0x0f => FfOp::IoStore16,
+            0x10 => FfOp::LoadRBase,
+            0x11 => FfOp::LoadMemBase,
+            0x12 => FfOp::LoadStackPtr,
+            0x13 => FfOp::LoadCount,
+            0x14 => FfOp::LoadShiftCtl,
+            0x15 => FfOp::LoadQ,
+            0x16 => FfOp::LoadIoAddress,
+            0x17 => FfOp::LoadLink,
+            0x18 => FfOp::DecCount,
+            0x19 => FfOp::ResetStackError,
+            0x1a => FfOp::IfuLoadPc,
+            0x1b => FfOp::IfuReadPc,
+            0x1c => FfOp::IoNotify,
+            0x1d => FfOp::LoadBase,
+            0x1e => FfOp::ReadBase,
+            0x1f => FfOp::WriteTpc,
+            0xc4 => FfOp::ReadTpc,
+            0x20..=0x3f => FfOp::LoadMemBaseImm(raw & 0x1f),
+            0x40..=0x5f => FfOp::LoadCountImm(raw & 0x1f),
+            0x60..=0x6f => FfOp::WakeTask(TaskId::from_bits(raw)),
+            0x80..=0x9f => FfOp::ShiftCtlImm(raw & 0x1f),
+            0xc0 => FfOp::ShOut,
+            0xc1 => FfOp::ShOutZ,
+            0xc2 => FfOp::ShOutM,
+            0xd0..=0xdf => FfOp::LoadAluFm(raw & 0xf),
+            _ => {
+                return Err(AsmError::ReservedEncoding {
+                    field: "FF",
+                    value: raw.into(),
+                })
+            }
+        })
+    }
+
+    /// Whether the operation overrides the RESULT bus (reads of small
+    /// registers, shifter outputs, slow I/O input).
+    pub fn drives_result(self) -> bool {
+        matches!(
+            self,
+            FfOp::ReadRBase
+                | FfOp::ReadStackPtr
+                | FfOp::ReadCount
+                | FfOp::ReadShiftCtl
+                | FfOp::ReadLink
+                | FfOp::ReadQ
+                | FfOp::ReadMemBase
+                | FfOp::ReadIoAddress
+                | FfOp::IfuReadPc
+                | FfOp::ReadBase
+                | FfOp::ReadTpc
+                | FfOp::IoInput
+                | FfOp::ShOut
+                | FfOp::ShOutZ
+                | FfOp::ShOutM
+                | FfOp::MulStep
+                | FfOp::DivStep
+        )
+    }
+
+    /// Whether the operation transfers a word on the slow I/O bus (for
+    /// bandwidth accounting, §5.8).
+    pub fn is_slow_io(self) -> bool {
+        matches!(self, FfOp::IoInput | FfOp::IoOutput)
+    }
+
+    /// Whether the operation starts a fast-I/O munch transfer (§5.8).
+    pub fn is_fast_io(self) -> bool {
+        matches!(self, FfOp::IoFetch16 | FfOp::IoStore16)
+    }
+
+    /// A short mnemonic for disassembly.
+    pub fn mnemonic(self) -> String {
+        match self {
+            FfOp::Nop => "".into(),
+            FfOp::ReadRBase => "RBASE↑".into(),
+            FfOp::ReadStackPtr => "STKP↑".into(),
+            FfOp::ReadCount => "CNT↑".into(),
+            FfOp::ReadShiftCtl => "SHC↑".into(),
+            FfOp::ReadLink => "LINK↑".into(),
+            FfOp::ReadQ => "Q↑".into(),
+            FfOp::ReadMemBase => "MB↑".into(),
+            FfOp::ReadIoAddress => "IOA↑".into(),
+            FfOp::MulStep => "MULSTEP".into(),
+            FfOp::DivStep => "DIVSTEP".into(),
+            FfOp::Halt => "HALT".into(),
+            FfOp::IoInput => "INPUT".into(),
+            FfOp::IoOutput => "OUTPUT".into(),
+            FfOp::IoFetch16 => "IOFETCH16".into(),
+            FfOp::IoStore16 => "IOSTORE16".into(),
+            FfOp::LoadRBase => "RBASE←B".into(),
+            FfOp::LoadMemBase => "MB←B".into(),
+            FfOp::LoadStackPtr => "STKP←B".into(),
+            FfOp::LoadCount => "CNT←B".into(),
+            FfOp::LoadShiftCtl => "SHC←B".into(),
+            FfOp::LoadQ => "Q←B".into(),
+            FfOp::LoadIoAddress => "IOA←B".into(),
+            FfOp::LoadLink => "LINK←B".into(),
+            FfOp::DecCount => "CNT-1".into(),
+            FfOp::ResetStackError => "STKERR←0".into(),
+            FfOp::IfuLoadPc => "IFUPC←B".into(),
+            FfOp::IfuReadPc => "IFUPC↑".into(),
+            FfOp::IoNotify => "IONOTIFY".into(),
+            FfOp::LoadBase => "BASE←B".into(),
+            FfOp::ReadBase => "BASE↑".into(),
+            FfOp::WriteTpc => "TPC←B".into(),
+            FfOp::ReadTpc => "TPC↑".into(),
+            FfOp::LoadMemBaseImm(n) => format!("MB←{n}"),
+            FfOp::LoadCountImm(n) => format!("CNT←{n}"),
+            FfOp::WakeTask(t) => format!("WAKE[{}]", t.number()),
+            FfOp::ShiftCtlImm(n) => format!("SHC←CY{n}"),
+            FfOp::ShOut => "SHOUT".into(),
+            FfOp::ShOutZ => "SHOUTZ".into(),
+            FfOp::ShOutM => "SHOUTM".into(),
+            FfOp::LoadAluFm(n) => format!("ALUFM[{n}]←B"),
+        }
+    }
+}
+
+impl std::fmt::Display for FfOp {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        if matches!(self, FfOp::Nop) {
+            f.write_str("nop")
+        } else {
+            f.write_str(&self.mnemonic())
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn all_ops() -> Vec<FfOp> {
+        let mut v = vec![
+            FfOp::Nop,
+            FfOp::ReadRBase,
+            FfOp::ReadStackPtr,
+            FfOp::ReadCount,
+            FfOp::ReadShiftCtl,
+            FfOp::ReadLink,
+            FfOp::ReadQ,
+            FfOp::ReadMemBase,
+            FfOp::ReadIoAddress,
+            FfOp::MulStep,
+            FfOp::DivStep,
+            FfOp::Halt,
+            FfOp::IoInput,
+            FfOp::IoOutput,
+            FfOp::IoFetch16,
+            FfOp::IoStore16,
+            FfOp::LoadRBase,
+            FfOp::LoadMemBase,
+            FfOp::LoadStackPtr,
+            FfOp::LoadCount,
+            FfOp::LoadShiftCtl,
+            FfOp::LoadQ,
+            FfOp::LoadIoAddress,
+            FfOp::LoadLink,
+            FfOp::DecCount,
+            FfOp::ResetStackError,
+            FfOp::IfuLoadPc,
+            FfOp::IfuReadPc,
+            FfOp::IoNotify,
+            FfOp::LoadBase,
+            FfOp::ReadBase,
+            FfOp::WriteTpc,
+            FfOp::ReadTpc,
+            FfOp::ShOut,
+            FfOp::ShOutZ,
+            FfOp::ShOutM,
+        ];
+        for n in [0u8, 1, 17, 31] {
+            v.push(FfOp::LoadMemBaseImm(n));
+            v.push(FfOp::LoadCountImm(n));
+            v.push(FfOp::ShiftCtlImm(n));
+        }
+        for n in [0u8, 5, 15] {
+            v.push(FfOp::LoadAluFm(n));
+        }
+        for t in [0u8, 3, 15] {
+            v.push(FfOp::WakeTask(TaskId::new(t)));
+        }
+        v
+    }
+
+    #[test]
+    fn encode_decode_roundtrip() {
+        for op in all_ops() {
+            let raw = op.encode();
+            let back = FfOp::decode(raw).unwrap_or_else(|e| panic!("{op:?}: {e}"));
+            assert_eq!(back, op, "raw {raw:#04x}");
+        }
+    }
+
+    #[test]
+    fn encodings_are_unique() {
+        let ops = all_ops();
+        for (i, a) in ops.iter().enumerate() {
+            for b in &ops[i + 1..] {
+                assert_ne!(a.encode(), b.encode(), "{a:?} vs {b:?}");
+            }
+        }
+    }
+
+    #[test]
+    fn reserved_encodings_fail() {
+        for raw in [0x70u8, 0x7f, 0xa0, 0xc3, 0xc5, 0xcf, 0xe0, 0xff] {
+            assert!(FfOp::decode(raw).is_err(), "raw {raw:#04x}");
+        }
+    }
+
+    #[test]
+    fn classification() {
+        assert!(FfOp::ReadQ.drives_result());
+        assert!(FfOp::IoInput.drives_result());
+        assert!(!FfOp::IoOutput.drives_result());
+        assert!(!FfOp::LoadCount.drives_result());
+        assert!(FfOp::IoInput.is_slow_io() && FfOp::IoOutput.is_slow_io());
+        assert!(!FfOp::IoFetch16.is_slow_io());
+        assert!(FfOp::IoFetch16.is_fast_io() && FfOp::IoStore16.is_fast_io());
+    }
+
+    #[test]
+    fn display_nonempty() {
+        for op in all_ops() {
+            assert!(!format!("{op}").is_empty(), "{op:?}");
+        }
+    }
+}

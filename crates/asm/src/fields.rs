@@ -1,0 +1,472 @@
+//! The small fields of the microinstruction (§6.3.1).
+//!
+//! | Field       | Bits | Role |
+//! |-------------|------|------|
+//! | RAddress    | 4    | low RM address (with `RBASE`), or the stack-pointer adjustment when `Block` selects a stack op for task 0 |
+//! | ALUOp       | 4    | index into `ALUFM`, which yields the 6-bit ALU control |
+//! | BSelect     | 3    | B-bus source, including the four byte-form constants |
+//! | LoadControl | 3    | loading of `RESULT` into RM and T |
+//! | ASelect     | 3    | A-bus source; also starts memory references |
+//! | Block       | 1    | blocks an I/O task; selects a stack op for task 0 |
+//! | FF          | 8    | catchall functions / constant byte / page address |
+//! | NextControl | 8    | how to compute NEXTPC |
+
+use crate::error::AsmError;
+
+/// The 4-bit `ALUOp` field: an index into the 16-entry `ALUFM` memory, which
+/// "maps the four-bit ALUOp field into the six bits required to control the
+/// ALU" (§6.3.3).
+///
+/// The named constants refer to the *default* `ALUFM` contents installed by
+/// [`default_alufm`](crate::default_alufm); microcode may remap entries.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Default)]
+pub struct AluOp(u8);
+
+impl AluOp {
+    /// `A + B`.
+    pub const ADD: AluOp = AluOp(0);
+    /// `A - B`.
+    pub const SUB: AluOp = AluOp(1);
+    /// `A AND B`.
+    pub const AND: AluOp = AluOp(2);
+    /// `A OR B`.
+    pub const OR: AluOp = AluOp(3);
+    /// `A XOR B`.
+    pub const XOR: AluOp = AluOp(4);
+    /// Pass `A`.
+    pub const A: AluOp = AluOp(5);
+    /// Pass `B`.
+    pub const B: AluOp = AluOp(6);
+    /// `NOT A`.
+    pub const NOT_A: AluOp = AluOp(7);
+    /// `A + 1`.
+    pub const INC_A: AluOp = AluOp(8);
+    /// `A - 1`.
+    pub const DEC_A: AluOp = AluOp(9);
+    /// `A + B + saved carry` (multi-precision arithmetic).
+    pub const ADD_CARRY: AluOp = AluOp(10);
+    /// `A AND NOT B`.
+    pub const AND_NOT_B: AluOp = AluOp(11);
+    /// `A - B - saved borrow`.
+    pub const SUB_BORROW: AluOp = AluOp(12);
+    /// `A OR NOT B`.
+    pub const OR_NOT_B: AluOp = AluOp(13);
+    /// Constant zero.
+    pub const ZERO: AluOp = AluOp(14);
+    /// `NOT (A XOR B)`.
+    pub const XNOR: AluOp = AluOp(15);
+
+    /// Creates an `AluOp` from a raw 4-bit index.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`AsmError::FieldRange`] if `raw >= 16`.
+    pub fn new(raw: u8) -> Result<Self, AsmError> {
+        if raw < 16 {
+            Ok(AluOp(raw))
+        } else {
+            Err(AsmError::FieldRange {
+                field: "ALUOp",
+                value: raw.into(),
+                max: 15,
+            })
+        }
+    }
+
+    /// The raw 4-bit index.
+    #[inline]
+    pub fn raw(self) -> u8 {
+        self.0
+    }
+
+    /// The index into ALUFM.
+    #[inline]
+    pub fn index(self) -> usize {
+        usize::from(self.0)
+    }
+}
+
+impl std::fmt::Display for AluOp {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "aluop{}", self.0)
+    }
+}
+
+/// The 3-bit `BSelect` field: the source for the B bus (§6.3.1), including
+/// the four byte-form constant encodings of §5.9 ("a useful subset of
+/// constants can be specified using the eight bits of FF for one byte ... and
+/// two other bits [from BSelect] for the other byte value and position").
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Default)]
+#[repr(u8)]
+pub enum BSel {
+    /// B from the RM register bank (or the stack, for a task-0 stack op).
+    #[default]
+    Rm = 0,
+    /// B from the task-specific T register.
+    T = 1,
+    /// B from the Q register.
+    Q = 2,
+    /// B from `MEMDATA` — the most recently fetched memory word; using it
+    /// before the fetch completes asserts `Hold` (§5.7).
+    MemData = 3,
+    /// Constant: FF in the low byte, high byte all zeroes.
+    ConstLo0 = 4,
+    /// Constant: FF in the low byte, high byte all ones.
+    ConstLo1 = 5,
+    /// Constant: FF in the high byte, low byte all zeroes.
+    ConstHi0 = 6,
+    /// Constant: FF in the high byte, low byte all ones.
+    ConstHi1 = 7,
+}
+
+impl BSel {
+    /// Decodes a raw 3-bit field.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`AsmError::FieldRange`] if `raw >= 8`.
+    pub fn decode(raw: u8) -> Result<Self, AsmError> {
+        Ok(match raw {
+            0 => BSel::Rm,
+            1 => BSel::T,
+            2 => BSel::Q,
+            3 => BSel::MemData,
+            4 => BSel::ConstLo0,
+            5 => BSel::ConstLo1,
+            6 => BSel::ConstHi0,
+            7 => BSel::ConstHi1,
+            _ => {
+                return Err(AsmError::FieldRange {
+                    field: "BSelect",
+                    value: raw.into(),
+                    max: 7,
+                })
+            }
+        })
+    }
+
+    /// The raw field value.
+    #[inline]
+    pub fn raw(self) -> u8 {
+        self as u8
+    }
+
+    /// Whether this selection is one of the four byte-form constants, which
+    /// claims the FF field for the constant byte.
+    #[inline]
+    pub fn is_constant(self) -> bool {
+        matches!(
+            self,
+            BSel::ConstLo0 | BSel::ConstLo1 | BSel::ConstHi0 | BSel::ConstHi1
+        )
+    }
+
+    /// Whether this selection reads `MEMDATA` (and can therefore hold).
+    #[inline]
+    pub fn uses_memdata(self) -> bool {
+        self == BSel::MemData
+    }
+}
+
+/// The 3-bit `ASelect` field: the source for the A bus, "and starts memory
+/// references" (§6.3.1).  `MEMADDRESS` is a copy of the A bus (§6.3.2), so
+/// the fetch/store variants both source A and launch the reference.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Default)]
+#[repr(u8)]
+pub enum ASel {
+    /// A from RM (or the stack, for a task-0 stack op).
+    #[default]
+    Rm = 0,
+    /// A from the task-specific T register.
+    T = 1,
+    /// A from `IFUDATA`: the next operand of the current macroinstruction
+    /// (§6.3.2); holds if the IFU has not decoded it yet.
+    IfuData = 2,
+    /// A from `IFUDATA`; start a fetch at `base[MEMBASE] + A` — the path
+    /// that makes "such operations as ... indirect addressing fast" (§5.8)
+    /// and lets a Mesa load run in one or two microinstructions (§7).
+    FetchIfu = 3,
+    /// A from RM; start a memory *fetch* at `base[MEMBASE] + A`.
+    FetchR = 4,
+    /// A from RM; start a memory *store* of the B bus at `base[MEMBASE] + A`.
+    StoreR = 5,
+    /// A from T; start a fetch.
+    FetchT = 6,
+    /// A from `IFUDATA`; start a store of B.
+    StoreIfu = 7,
+}
+
+impl ASel {
+    /// Decodes a raw 3-bit field.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`AsmError::FieldRange`] if `raw >= 8`.
+    pub fn decode(raw: u8) -> Result<Self, AsmError> {
+        Ok(match raw {
+            0 => ASel::Rm,
+            1 => ASel::T,
+            2 => ASel::IfuData,
+            3 => ASel::FetchIfu,
+            4 => ASel::FetchR,
+            5 => ASel::StoreR,
+            6 => ASel::FetchT,
+            7 => ASel::StoreIfu,
+            _ => {
+                return Err(AsmError::FieldRange {
+                    field: "ASelect",
+                    value: raw.into(),
+                    max: 7,
+                })
+            }
+        })
+    }
+
+    /// The raw field value.
+    #[inline]
+    pub fn raw(self) -> u8 {
+        self as u8
+    }
+
+    /// Whether this selection starts a memory fetch.
+    #[inline]
+    pub fn is_fetch(self) -> bool {
+        matches!(self, ASel::FetchR | ASel::FetchT | ASel::FetchIfu)
+    }
+
+    /// Whether this selection starts a memory store.
+    #[inline]
+    pub fn is_store(self) -> bool {
+        matches!(self, ASel::StoreR | ASel::StoreIfu)
+    }
+
+    /// Whether this selection starts any memory reference.
+    #[inline]
+    pub fn starts_memory_ref(self) -> bool {
+        self.is_fetch() || self.is_store()
+    }
+
+    /// Whether the A bus is sourced from RM for this selection.
+    #[inline]
+    pub fn reads_rm(self) -> bool {
+        matches!(self, ASel::Rm | ASel::FetchR | ASel::StoreR)
+    }
+
+    /// Whether the A bus is sourced from T for this selection.
+    #[inline]
+    pub fn reads_t(self) -> bool {
+        matches!(self, ASel::T | ASel::FetchT)
+    }
+
+    /// Whether this selection consumes IFU operand data (and can hold).
+    #[inline]
+    pub fn uses_ifudata(self) -> bool {
+        matches!(self, ASel::IfuData | ASel::FetchIfu | ASel::StoreIfu)
+    }
+}
+
+/// The 3-bit `LoadControl` field: "Controls loading of results into RM and T"
+/// (§6.3.1).  Values 4–7 are reserved.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Default)]
+#[repr(u8)]
+pub enum LoadControl {
+    /// Load nothing.
+    #[default]
+    None = 0,
+    /// T ← RESULT.
+    T = 1,
+    /// RM (or stack) ← RESULT.
+    Rm = 2,
+    /// Both T and RM ← RESULT.
+    Both = 3,
+}
+
+impl LoadControl {
+    /// Decodes a raw 3-bit field.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`AsmError::ReservedEncoding`] for values 4–7.
+    pub fn decode(raw: u8) -> Result<Self, AsmError> {
+        Ok(match raw {
+            0 => LoadControl::None,
+            1 => LoadControl::T,
+            2 => LoadControl::Rm,
+            3 => LoadControl::Both,
+            _ => {
+                return Err(AsmError::ReservedEncoding {
+                    field: "LoadControl",
+                    value: raw.into(),
+                })
+            }
+        })
+    }
+
+    /// The raw field value.
+    #[inline]
+    pub fn raw(self) -> u8 {
+        self as u8
+    }
+
+    /// Whether T is loaded.
+    #[inline]
+    pub fn loads_t(self) -> bool {
+        matches!(self, LoadControl::T | LoadControl::Both)
+    }
+
+    /// Whether RM (or the stack) is loaded.
+    #[inline]
+    pub fn loads_rm(self) -> bool {
+        matches!(self, LoadControl::Rm | LoadControl::Both)
+    }
+}
+
+/// One of the eight branch conditions (§5.5: "allowing one of eight branch
+/// conditions to modify the low order bit of NEXTPC").
+///
+/// Conditions are computed from the *previous* instruction's results, held in
+/// the task-specific branch-condition register (§5.3).  There are no negated
+/// forms: microcode negates a test by exchanging the true and false targets.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Default)]
+#[repr(u8)]
+pub enum Cond {
+    /// The previous ALU result was zero.
+    #[default]
+    Zero = 0,
+    /// The previous ALU result was negative (bit 15 set).
+    Neg = 1,
+    /// The previous ALU operation produced a carry out.
+    Carry = 2,
+    /// The previous ALU operation overflowed (signed).
+    Overflow = 3,
+    /// The previous ALU result was odd (bit 0 set).
+    ROdd = 4,
+    /// COUNT reached zero on the most recent decrement (§6.3.3: COUNT "can
+    /// be decremented and tested for zero in one microinstruction").
+    CntZero = 5,
+    /// The device addressed by IOADDRESS is asserting attention.
+    IoAtten = 6,
+    /// A stack overflow or underflow has occurred (§6.3.3: "independent
+    /// underflow and overflow checking").
+    StackError = 7,
+}
+
+impl Cond {
+    /// Decodes a raw 3-bit condition select.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`AsmError::FieldRange`] if `raw >= 8`.
+    pub fn decode(raw: u8) -> Result<Self, AsmError> {
+        Ok(match raw {
+            0 => Cond::Zero,
+            1 => Cond::Neg,
+            2 => Cond::Carry,
+            3 => Cond::Overflow,
+            4 => Cond::ROdd,
+            5 => Cond::CntZero,
+            6 => Cond::IoAtten,
+            7 => Cond::StackError,
+            _ => {
+                return Err(AsmError::FieldRange {
+                    field: "Cond",
+                    value: raw.into(),
+                    max: 7,
+                })
+            }
+        })
+    }
+
+    /// The raw field value.
+    #[inline]
+    pub fn raw(self) -> u8 {
+        self as u8
+    }
+
+    /// All eight conditions.
+    pub fn all() -> impl Iterator<Item = Cond> {
+        (0..8).map(|i| Cond::decode(i).expect("0..8 are all valid"))
+    }
+}
+
+impl std::fmt::Display for Cond {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        let name = match self {
+            Cond::Zero => "ALU=0",
+            Cond::Neg => "ALU<0",
+            Cond::Carry => "Carry",
+            Cond::Overflow => "Overflow",
+            Cond::ROdd => "R odd",
+            Cond::CntZero => "CNT=0",
+            Cond::IoAtten => "IOAtten",
+            Cond::StackError => "StkErr",
+        };
+        f.write_str(name)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn aluop_range() {
+        assert!(AluOp::new(15).is_ok());
+        assert!(AluOp::new(16).is_err());
+        assert_eq!(AluOp::ADD.index(), 0);
+        assert_eq!(AluOp::XNOR.raw(), 15);
+    }
+
+    #[test]
+    fn bsel_roundtrip() {
+        for raw in 0..8 {
+            let b = BSel::decode(raw).unwrap();
+            assert_eq!(b.raw(), raw);
+        }
+        assert!(BSel::decode(8).is_err());
+    }
+
+    #[test]
+    fn bsel_constant_classification() {
+        assert!(!BSel::Rm.is_constant());
+        assert!(!BSel::MemData.is_constant());
+        assert!(BSel::ConstLo0.is_constant());
+        assert!(BSel::ConstHi1.is_constant());
+        assert!(BSel::MemData.uses_memdata());
+        assert!(!BSel::T.uses_memdata());
+    }
+
+    #[test]
+    fn asel_roundtrip_and_classes() {
+        for raw in 0..8 {
+            let a = ASel::decode(raw).unwrap();
+            assert_eq!(a.raw(), raw);
+        }
+        assert!(ASel::decode(9).is_err());
+        assert!(ASel::FetchR.is_fetch() && !ASel::FetchR.is_store());
+        assert!(ASel::StoreIfu.is_store() && ASel::StoreIfu.starts_memory_ref());
+        assert!(ASel::FetchR.reads_rm() && !ASel::FetchR.reads_t());
+        assert!(ASel::FetchT.reads_t());
+        assert!(ASel::IfuData.uses_ifudata());
+        assert!(ASel::FetchIfu.uses_ifudata() && ASel::FetchIfu.is_fetch());
+        assert!(!ASel::T.starts_memory_ref());
+    }
+
+    #[test]
+    fn load_control_decoding() {
+        assert_eq!(LoadControl::decode(3).unwrap(), LoadControl::Both);
+        assert!(LoadControl::decode(4).is_err());
+        assert!(LoadControl::Both.loads_t() && LoadControl::Both.loads_rm());
+        assert!(LoadControl::T.loads_t() && !LoadControl::T.loads_rm());
+        assert!(!LoadControl::None.loads_t());
+    }
+
+    #[test]
+    fn cond_roundtrip_and_display() {
+        for c in Cond::all() {
+            assert_eq!(Cond::decode(c.raw()).unwrap(), c);
+            assert!(!format!("{c}").is_empty());
+        }
+        assert!(Cond::decode(8).is_err());
+    }
+}

@@ -1,0 +1,276 @@
+//! The packed 34-bit microinstruction word (§6.3.1).
+//!
+//! "MIR ... is 34 bits wide and is partitioned into the following fields:
+//! RAddress 4, ALUOp 4, BSelect 3, LoadControl 3, ASelect 3, Block 1, FF 8,
+//! NextControl 8."
+//!
+//! Bit layout used here (LSB-0 in a `u64`):
+//!
+//! | Bits   | Field |
+//! |--------|-------|
+//! | 0–7    | NextControl |
+//! | 8–15   | FF |
+//! | 16     | Block |
+//! | 17–19  | ASelect |
+//! | 20–22  | LoadControl |
+//! | 23–25  | BSelect |
+//! | 26–29  | ALUOp |
+//! | 30–33  | RAddress |
+
+use crate::error::AsmError;
+use crate::fields::{ASel, AluOp, BSel, LoadControl};
+use crate::flow::ControlOp;
+use dorado_base::bits::{field, with_field};
+
+/// One packed 34-bit microinstruction.
+///
+/// # Examples
+///
+/// ```
+/// use dorado_asm::{Microword, AluOp, BSel};
+///
+/// let w = Microword::default()
+///     .with_raddr(5)
+///     .with_aluop(AluOp::ADD)
+///     .with_bsel(BSel::T);
+/// assert_eq!(w.raddr(), 5);
+/// assert_eq!(w.bsel().unwrap(), BSel::T);
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Default)]
+pub struct Microword(u64);
+
+impl Microword {
+    /// Width of the microinstruction in bits.
+    pub const WIDTH: u32 = 34;
+
+    /// Creates a word from raw bits.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`AsmError::FieldRange`] if bits above bit 33 are set.
+    pub fn from_raw(raw: u64) -> Result<Self, AsmError> {
+        if raw >> Self::WIDTH != 0 {
+            Err(AsmError::FieldRange {
+                field: "Microword",
+                value: (raw >> 32) as u32,
+                max: 3,
+            })
+        } else {
+            Ok(Microword(raw))
+        }
+    }
+
+    /// The raw 34-bit value.
+    #[inline]
+    pub fn raw(self) -> u64 {
+        self.0
+    }
+
+    /// The 8-bit NextControl field.
+    #[inline]
+    pub fn next_control_raw(self) -> u8 {
+        field(self.0, 0, 8) as u8
+    }
+
+    /// The decoded NextControl field.
+    ///
+    /// # Errors
+    ///
+    /// Returns an error for reserved encodings.
+    pub fn control(self) -> Result<ControlOp, AsmError> {
+        ControlOp::decode(self.next_control_raw())
+    }
+
+    /// Replaces NextControl.
+    #[must_use]
+    pub fn with_control(self, op: ControlOp) -> Self {
+        Microword(with_field(self.0, 0, 8, op.encode().into()))
+    }
+
+    /// The 8-bit FF field (function, constant byte, or page number).
+    #[inline]
+    pub fn ff(self) -> u8 {
+        field(self.0, 8, 8) as u8
+    }
+
+    /// Replaces the FF field.
+    #[must_use]
+    pub fn with_ff(self, ff: u8) -> Self {
+        Microword(with_field(self.0, 8, 8, ff.into()))
+    }
+
+    /// The Block bit (§6.3.1: "Blocks an I/O task, selects a stack
+    /// operation for task 0").
+    #[inline]
+    pub fn block(self) -> bool {
+        field(self.0, 16, 1) != 0
+    }
+
+    /// Replaces the Block bit.
+    #[must_use]
+    pub fn with_block(self, block: bool) -> Self {
+        Microword(with_field(self.0, 16, 1, block.into()))
+    }
+
+    /// The decoded ASelect field.
+    ///
+    /// # Errors
+    ///
+    /// Never fails for 3-bit input, but kept fallible for uniformity.
+    pub fn asel(self) -> Result<ASel, AsmError> {
+        ASel::decode(field(self.0, 17, 3) as u8)
+    }
+
+    /// Replaces ASelect.
+    #[must_use]
+    pub fn with_asel(self, asel: ASel) -> Self {
+        Microword(with_field(self.0, 17, 3, asel.raw().into()))
+    }
+
+    /// The decoded LoadControl field.
+    ///
+    /// # Errors
+    ///
+    /// Returns an error for the reserved encodings 4–7.
+    pub fn load_control(self) -> Result<LoadControl, AsmError> {
+        LoadControl::decode(field(self.0, 20, 3) as u8)
+    }
+
+    /// Replaces LoadControl.
+    #[must_use]
+    pub fn with_load_control(self, lc: LoadControl) -> Self {
+        Microword(with_field(self.0, 20, 3, lc.raw().into()))
+    }
+
+    /// The decoded BSelect field.
+    ///
+    /// # Errors
+    ///
+    /// Never fails for 3-bit input, but kept fallible for uniformity.
+    pub fn bsel(self) -> Result<BSel, AsmError> {
+        BSel::decode(field(self.0, 23, 3) as u8)
+    }
+
+    /// Replaces BSelect.
+    #[must_use]
+    pub fn with_bsel(self, bsel: BSel) -> Self {
+        Microword(with_field(self.0, 23, 3, bsel.raw().into()))
+    }
+
+    /// The ALUOp field (an ALUFM index).
+    #[inline]
+    pub fn aluop(self) -> AluOp {
+        AluOp::new(field(self.0, 26, 4) as u8).expect("4 bits")
+    }
+
+    /// Replaces ALUOp.
+    #[must_use]
+    pub fn with_aluop(self, op: AluOp) -> Self {
+        Microword(with_field(self.0, 26, 4, op.raw().into()))
+    }
+
+    /// The 4-bit RAddress field: low RM address bits, or the stack-pointer
+    /// adjustment (two's complement) for a task-0 stack op.
+    #[inline]
+    pub fn raddr(self) -> u8 {
+        field(self.0, 30, 4) as u8
+    }
+
+    /// Replaces RAddress.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `raddr >= 16`.
+    #[must_use]
+    pub fn with_raddr(self, raddr: u8) -> Self {
+        Microword(with_field(self.0, 30, 4, raddr.into()))
+    }
+
+    /// The RAddress field interpreted as the signed stack-pointer delta of
+    /// a stack operation (−8..=7).
+    #[inline]
+    pub fn stack_delta(self) -> i8 {
+        ((self.raddr() as i8) << 4) >> 4
+    }
+}
+
+impl std::fmt::Display for Microword {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "{:09x}", self.0)
+    }
+}
+
+impl std::fmt::LowerHex for Microword {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        std::fmt::LowerHex::fmt(&self.0, f)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::fields::Cond;
+
+    #[test]
+    fn fields_are_independent() {
+        let w = Microword::default()
+            .with_control(ControlOp::CondGoto {
+                cond: Cond::Carry,
+                pair: 5,
+            })
+            .with_ff(0xab)
+            .with_block(true)
+            .with_asel(ASel::FetchT)
+            .with_load_control(LoadControl::Both)
+            .with_bsel(BSel::ConstHi1)
+            .with_aluop(AluOp::XNOR)
+            .with_raddr(0xf);
+        assert_eq!(
+            w.control().unwrap(),
+            ControlOp::CondGoto {
+                cond: Cond::Carry,
+                pair: 5
+            }
+        );
+        assert_eq!(w.ff(), 0xab);
+        assert!(w.block());
+        assert_eq!(w.asel().unwrap(), ASel::FetchT);
+        assert_eq!(w.load_control().unwrap(), LoadControl::Both);
+        assert_eq!(w.bsel().unwrap(), BSel::ConstHi1);
+        assert_eq!(w.aluop(), AluOp::XNOR);
+        assert_eq!(w.raddr(), 0xf);
+        assert!(w.raw() >> Microword::WIDTH == 0);
+    }
+
+    #[test]
+    fn word_is_34_bits() {
+        let full = Microword::default()
+            .with_control(ControlOp::Dispatch256)
+            .with_ff(0xff)
+            .with_block(true)
+            .with_asel(ASel::StoreIfu)
+            .with_load_control(LoadControl::Both)
+            .with_bsel(BSel::ConstHi1)
+            .with_aluop(AluOp::XNOR)
+            .with_raddr(0xf);
+        assert!(full.raw() < 1u64 << 34);
+        assert!(Microword::from_raw(1 << 34).is_err());
+        assert!(Microword::from_raw((1 << 34) - 1).is_ok());
+    }
+
+    #[test]
+    fn stack_delta_is_signed() {
+        assert_eq!(Microword::default().with_raddr(1).stack_delta(), 1);
+        assert_eq!(Microword::default().with_raddr(0xf).stack_delta(), -1);
+        assert_eq!(Microword::default().with_raddr(0x8).stack_delta(), -8);
+        assert_eq!(Microword::default().with_raddr(7).stack_delta(), 7);
+    }
+
+    #[test]
+    fn default_is_benign() {
+        let w = Microword::default();
+        assert_eq!(w.control().unwrap(), ControlOp::Goto { offset: 0 });
+        assert_eq!(w.load_control().unwrap(), LoadControl::None);
+        assert!(!w.block());
+    }
+}

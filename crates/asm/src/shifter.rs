@@ -1,0 +1,305 @@
+//! The 32-bit barrel shifter and masker (§6.3.4).
+//!
+//! "The Dorado has a 32 bit barrel shifter for handling bit-aligned data.
+//! It takes 32 bits from RM and T, performs a left cycle of any number of
+//! bit positions, and places the result on RESULT.  The ALU output may be
+//! masked during a shift instruction, either with zeroes or with data from
+//! MEMDATA."
+//!
+//! Conventions used here (LSB-0 bit numbering):
+//!
+//! * the 32-bit input is `R:T` with R the high half;
+//! * the output is the *high* 16 bits of the rotated 32-bit value;
+//! * `lmask` zeroes (or fills from MEMDATA) the `lmask` most significant
+//!   output bits, `rmask` the `rmask` least significant bits.
+
+use crate::error::AsmError;
+use dorado_base::bits::mask16;
+use dorado_base::Word;
+
+/// How the shifter output is combined with mask fill (§6.3.4).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Default)]
+pub enum MaskMode {
+    /// No masking: RESULT is the raw shifter output.
+    #[default]
+    None,
+    /// Masked positions become zero.
+    Zeroes,
+    /// Masked positions are filled from `MEMDATA` (field insertion).
+    MemData,
+}
+
+/// The `SHIFTCTL` register: "controls the direction and amount of shifting
+/// and the width of left and right masks" (§6.3.3).
+///
+/// Layout (LSB-0): bits 0–4 left-cycle count (0–31), bits 5–8 left mask
+/// width (0–15), bits 9–12 right mask width (0–15).
+///
+/// # Examples
+///
+/// ```
+/// use dorado_asm::ShiftCtl;
+/// let ctl = ShiftCtl::field_extract(4, 8); // bits 4..12, right justified
+/// assert_eq!(ctl.count(), 28);
+/// assert_eq!(ctl.lmask(), 8);
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Default)]
+pub struct ShiftCtl(Word);
+
+impl ShiftCtl {
+    /// Creates a `ShiftCtl` from the raw register value (as microcode
+    /// loading it from the B bus would).
+    #[inline]
+    pub fn from_raw(raw: Word) -> Self {
+        ShiftCtl(raw & 0x1fff)
+    }
+
+    /// The raw register value.
+    #[inline]
+    pub fn raw(self) -> Word {
+        self.0
+    }
+
+    /// A left cycle by `count` bits with no masking.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `count >= 32`.
+    pub fn left_cycle(count: u8) -> Self {
+        assert!(count < 32, "cycle count {count} out of range");
+        ShiftCtl(Word::from(count))
+    }
+
+    /// A control word with explicit count and mask widths.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `count >= 32`, `lmask >= 16`, or `rmask >= 16`.
+    pub fn with_masks(count: u8, lmask: u8, rmask: u8) -> Self {
+        assert!(count < 32, "cycle count {count} out of range");
+        assert!(lmask < 16, "left mask {lmask} out of range");
+        assert!(rmask < 16, "right mask {rmask} out of range");
+        ShiftCtl(Word::from(count) | Word::from(lmask) << 5 | Word::from(rmask) << 9)
+    }
+
+    /// A control word that right-justifies the `size`-bit field at LSB-0 bit
+    /// position `pos` of R, zeroing the rest (use with
+    /// [`FfOp::ShOutZ`](crate::FfOp::ShOutZ) and T = R).
+    ///
+    /// # Panics
+    ///
+    /// Panics unless `1 <= size <= 16` and `pos + size <= 16`.
+    pub fn field_extract(pos: u8, size: u8) -> Self {
+        assert!((1..=16).contains(&size), "field size {size} out of range");
+        assert!(pos as u32 + size as u32 <= 16, "field does not fit a word");
+        // Output bit i = R bit (pos + i); see module docs for the algebra.
+        let count = ((32 - pos as u32) % 32) as u8;
+        let lmask = 16 - size;
+        Self::with_masks(count, lmask, 0)
+    }
+
+    /// A control word that moves a right-justified `size`-bit value in R to
+    /// bit position `pos`, filling the other bits from MEMDATA (use with
+    /// [`FfOp::ShOutM`](crate::FfOp::ShOutM) and T = R): field *insertion*.
+    ///
+    /// # Panics
+    ///
+    /// Panics unless `1 <= size <= 16` and `pos + size <= 16`.
+    pub fn field_insert(pos: u8, size: u8) -> Self {
+        assert!((1..=16).contains(&size), "field size {size} out of range");
+        assert!(pos as u32 + size as u32 <= 16, "field does not fit a word");
+        let count = pos % 32;
+        let lmask = (16 - pos - size) % 16;
+        let rmask = pos;
+        Self::with_masks(count, lmask, rmask)
+    }
+
+    /// The left-cycle count, 0–31.
+    #[inline]
+    pub fn count(self) -> u8 {
+        (self.0 & 0x1f) as u8
+    }
+
+    /// The left (most-significant) mask width, 0–15.
+    #[inline]
+    pub fn lmask(self) -> u8 {
+        ((self.0 >> 5) & 0xf) as u8
+    }
+
+    /// The right (least-significant) mask width, 0–15.
+    #[inline]
+    pub fn rmask(self) -> u8 {
+        ((self.0 >> 9) & 0xf) as u8
+    }
+}
+
+impl std::fmt::Display for ShiftCtl {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(
+            f,
+            "cycle {} lmask {} rmask {}",
+            self.count(),
+            self.lmask(),
+            self.rmask()
+        )
+    }
+}
+
+impl TryFrom<Word> for ShiftCtl {
+    type Error = AsmError;
+    fn try_from(raw: Word) -> Result<Self, AsmError> {
+        if raw & !0x1fff != 0 {
+            Err(AsmError::FieldRange {
+                field: "SHIFTCTL",
+                value: raw.into(),
+                max: 0x1fff,
+            })
+        } else {
+            Ok(ShiftCtl(raw))
+        }
+    }
+}
+
+/// The raw barrel shift: the high 16 bits of `R:T` rotated left by `count`.
+///
+/// # Examples
+///
+/// ```
+/// use dorado_asm::shifter::barrel;
+/// assert_eq!(barrel(0x1234, 0x5678, 0), 0x1234);
+/// assert_eq!(barrel(0x1234, 0x5678, 4), 0x2345);
+/// assert_eq!(barrel(0x1234, 0x5678, 16), 0x5678);
+/// ```
+#[inline]
+pub fn barrel(r: Word, t: Word, count: u8) -> Word {
+    let value = (u32::from(r) << 16) | u32::from(t);
+    (value.rotate_left(u32::from(count) % 32) >> 16) as Word
+}
+
+/// The full shifter+masker output for one shift microoperation.
+///
+/// `memdata` supplies fill bits when `mode` is [`MaskMode::MemData`].
+pub fn shifter_output(ctl: ShiftCtl, r: Word, t: Word, memdata: Word, mode: MaskMode) -> Word {
+    let shifted = barrel(r, t, ctl.count());
+    let masked_bits = mask_of(ctl);
+    match mode {
+        MaskMode::None => shifted,
+        MaskMode::Zeroes => shifted & !masked_bits,
+        MaskMode::MemData => (shifted & !masked_bits) | (memdata & masked_bits),
+    }
+}
+
+/// The 16-bit mask of positions affected by the masker: the `lmask` most
+/// significant and `rmask` least significant bits.
+fn mask_of(ctl: ShiftCtl) -> Word {
+    let l = u32::from(ctl.lmask());
+    let r = u32::from(ctl.rmask());
+    let left = if l == 0 { 0 } else { mask16(16 - l, l) };
+    let right = if r == 0 { 0 } else { mask16(0, r) };
+    left | right
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn barrel_reference() {
+        // Exhaustive-ish check against a bit-by-bit reference.
+        let r: Word = 0b1010_0011_1100_0101;
+        let t: Word = 0b0110_1001_0000_1111;
+        let v = (u32::from(r) << 16) | u32::from(t);
+        for count in 0..32u8 {
+            let expect = {
+                let mut out = 0u16;
+                for i in 0..16u32 {
+                    // output bit i = input bit (16 + i - count) mod 32
+                    let src = (16 + i + 32 - u32::from(count)) % 32;
+                    if v >> src & 1 == 1 {
+                        out |= 1 << i;
+                    }
+                }
+                out
+            };
+            assert_eq!(barrel(r, t, count), expect, "count {count}");
+        }
+    }
+
+    #[test]
+    fn field_extract_semantics() {
+        // Extract bits 4..12 of r.
+        let r: Word = 0xabcd;
+        let ctl = ShiftCtl::field_extract(4, 8);
+        let out = shifter_output(ctl, r, r, 0, MaskMode::Zeroes);
+        assert_eq!(out, (r >> 4) & 0xff);
+        // Extract the top bit.
+        let ctl = ShiftCtl::field_extract(15, 1);
+        assert_eq!(shifter_output(ctl, r, r, 0, MaskMode::Zeroes), 1);
+        // Extract the whole word.
+        let ctl = ShiftCtl::field_extract(0, 16);
+        assert_eq!(shifter_output(ctl, r, r, 0, MaskMode::Zeroes), r);
+    }
+
+    #[test]
+    fn field_insert_semantics() {
+        // Insert a 4-bit value at position 8 into existing memdata.
+        let value: Word = 0x000a;
+        let memdata: Word = 0xf0f0;
+        let ctl = ShiftCtl::field_insert(8, 4);
+        let out = shifter_output(ctl, value, value, memdata, MaskMode::MemData);
+        assert_eq!(out, (memdata & !(0xf << 8)) | (value << 8));
+        // Insert at position 0.
+        let ctl = ShiftCtl::field_insert(0, 4);
+        let out = shifter_output(ctl, value, value, memdata, MaskMode::MemData);
+        assert_eq!(out, (memdata & !0xf) | value);
+        // Insert filling the whole word: no mask at all.
+        let ctl = ShiftCtl::field_insert(0, 16);
+        let out = shifter_output(ctl, value, value, memdata, MaskMode::MemData);
+        assert_eq!(out, value);
+    }
+
+    #[test]
+    fn mask_modes() {
+        let ctl = ShiftCtl::with_masks(0, 4, 4);
+        let r: Word = 0xffff;
+        assert_eq!(shifter_output(ctl, r, r, 0, MaskMode::None), 0xffff);
+        assert_eq!(shifter_output(ctl, r, r, 0, MaskMode::Zeroes), 0x0ff0);
+        assert_eq!(
+            shifter_output(ctl, r, r, 0xaaaa, MaskMode::MemData),
+            0x0ff0 | (0xaaaa & 0xf00f)
+        );
+    }
+
+    #[test]
+    fn ctl_packing() {
+        let ctl = ShiftCtl::with_masks(21, 7, 3);
+        assert_eq!(ctl.count(), 21);
+        assert_eq!(ctl.lmask(), 7);
+        assert_eq!(ctl.rmask(), 3);
+        let round = ShiftCtl::from_raw(ctl.raw());
+        assert_eq!(round, ctl);
+    }
+
+    #[test]
+    fn try_from_rejects_high_bits() {
+        assert!(ShiftCtl::try_from(0x8000u16).is_err());
+        assert!(ShiftCtl::try_from(0x1fffu16).is_ok());
+    }
+
+    #[test]
+    #[should_panic(expected = "out of range")]
+    fn left_cycle_rejects_32() {
+        let _ = ShiftCtl::left_cycle(32);
+    }
+
+    #[test]
+    #[should_panic(expected = "does not fit")]
+    fn field_extract_rejects_overflow() {
+        let _ = ShiftCtl::field_extract(10, 8);
+    }
+
+    #[test]
+    fn display_nonempty() {
+        assert!(!format!("{}", ShiftCtl::left_cycle(3)).is_empty());
+    }
+}

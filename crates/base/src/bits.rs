@@ -1,0 +1,130 @@
+//! Bit-field helpers used by the microword encoder and the datapath.
+//!
+//! The Dorado documentation numbers bits the Xerox way (bit 0 = most
+//! significant), but all code in this workspace uses conventional
+//! least-significant-bit-0 numbering; these helpers make field packing
+//! explicit and testable.
+
+/// Extracts `width` bits of `value` starting at least-significant bit `lo`.
+///
+/// # Examples
+///
+/// ```
+/// use dorado_base::bits::field;
+/// assert_eq!(field(0b1011_0100, 2, 4), 0b1101);
+/// ```
+///
+/// # Panics
+///
+/// Panics if the field does not fit in 64 bits.
+#[inline]
+pub fn field(value: u64, lo: u32, width: u32) -> u64 {
+    assert!(lo + width <= 64, "field out of range");
+    if width == 64 {
+        value >> lo
+    } else {
+        (value >> lo) & ((1u64 << width) - 1)
+    }
+}
+
+/// Inserts `field_value` into `value` at `lo`, width `width`, returning the
+/// new value.
+///
+/// # Panics
+///
+/// Panics if `field_value` does not fit in `width` bits, or the field does
+/// not fit in 64 bits.
+#[inline]
+pub fn with_field(value: u64, lo: u32, width: u32, field_value: u64) -> u64 {
+    assert!(lo + width <= 64, "field out of range");
+    let mask = if width == 64 {
+        u64::MAX
+    } else {
+        (1u64 << width) - 1
+    };
+    assert!(
+        field_value <= mask,
+        "value {field_value:#x} does not fit in {width} bits"
+    );
+    (value & !(mask << lo)) | (field_value << lo)
+}
+
+/// Sign-extends the low `width` bits of `value` to 16 bits.
+///
+/// # Examples
+///
+/// ```
+/// use dorado_base::bits::sign_extend16;
+/// assert_eq!(sign_extend16(0xff, 8), 0xffff);
+/// assert_eq!(sign_extend16(0x7f, 8), 0x007f);
+/// ```
+#[inline]
+pub fn sign_extend16(value: u16, width: u32) -> u16 {
+    assert!((1..=16).contains(&width));
+    let shift = 16 - width;
+    (((value << shift) as i16) >> shift) as u16
+}
+
+/// A 16-bit mask with ones in bit positions `lo..lo+width` (LSB-0).
+///
+/// # Examples
+///
+/// ```
+/// use dorado_base::bits::mask16;
+/// assert_eq!(mask16(4, 8), 0x0ff0);
+/// assert_eq!(mask16(0, 16), 0xffff);
+/// ```
+#[inline]
+pub fn mask16(lo: u32, width: u32) -> u16 {
+    assert!(lo + width <= 16, "mask out of range");
+    if width == 0 {
+        0
+    } else if width == 16 {
+        0xffff
+    } else {
+        (((1u32 << width) - 1) << lo) as u16
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn field_roundtrip() {
+        let v = with_field(0, 5, 7, 0x55);
+        assert_eq!(field(v, 5, 7), 0x55);
+        // Neighbouring bits untouched:
+        let v2 = with_field(u64::MAX, 5, 7, 0);
+        assert_eq!(field(v2, 0, 5), 0x1f);
+        assert_eq!(field(v2, 12, 4), 0xf);
+        assert_eq!(field(v2, 5, 7), 0);
+    }
+
+    #[test]
+    #[should_panic(expected = "does not fit")]
+    fn with_field_rejects_oversize() {
+        let _ = with_field(0, 0, 3, 8);
+    }
+
+    #[test]
+    fn sign_extend_edges() {
+        assert_eq!(sign_extend16(0x8000, 16), 0x8000);
+        assert_eq!(sign_extend16(1, 1), 0xffff);
+        assert_eq!(sign_extend16(0, 1), 0);
+        assert_eq!(sign_extend16(0b100, 3), 0xfffc);
+    }
+
+    #[test]
+    fn mask_edges() {
+        assert_eq!(mask16(0, 0), 0);
+        assert_eq!(mask16(15, 1), 0x8000);
+        assert_eq!(mask16(0, 1), 1);
+    }
+
+    #[test]
+    #[should_panic(expected = "out of range")]
+    fn mask_rejects_overflow() {
+        let _ = mask16(10, 8);
+    }
+}

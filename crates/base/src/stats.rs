@@ -1,0 +1,185 @@
+//! Machine-wide statistics counters.
+//!
+//! Every experiment in the paper's §7 is a ratio of these counters: cycles
+//! executed per task (processor shares), cache hits and misses, storage
+//! cycles, words moved over the slow and fast I/O paths, and macro-
+//! instructions dispatched by the IFU.
+
+use crate::clock::{ClockConfig, Cycles};
+use crate::task::TaskId;
+use crate::NUM_TASKS;
+
+/// Counters accumulated while a [`Dorado`] machine runs.
+///
+/// All counters are cumulative from machine reset.
+///
+/// [`Dorado`]: https://docs.rs/dorado-core
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct Stats {
+    /// Total microcycles elapsed.
+    pub cycles: u64,
+    /// Cycles in which each task's microinstruction completed (not held).
+    pub executed: [u64; NUM_TASKS],
+    /// Cycles in which each task's microinstruction was held (§5.7).
+    pub held: [u64; NUM_TASKS],
+    /// Number of task switches (NEXT task differed from THISTASK).
+    pub task_switches: u64,
+    /// Cache references started by the processor.
+    pub cache_refs: u64,
+    /// Cache references that hit.
+    pub cache_hits: u64,
+    /// Storage references (cache misses, write-backs, fast I/O munches).
+    pub storage_refs: u64,
+    /// 16-word munches moved over the fast I/O path (§5.8).
+    pub fast_io_munches: u64,
+    /// Words moved over the slow I/O (IODATA) bus, either direction.
+    pub slow_io_words: u64,
+    /// Macroinstructions dispatched by the IFU (IFUJump taken).
+    pub macro_instructions: u64,
+    /// Cache references made by the IFU for byte-stream prefetch.
+    pub ifu_fetches: u64,
+}
+
+impl Stats {
+    /// Creates a zeroed counter block.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Total microinstructions executed across all tasks.
+    pub fn instructions(&self) -> u64 {
+        self.executed.iter().sum()
+    }
+
+    /// Total held cycles across all tasks.
+    pub fn held_cycles(&self) -> u64 {
+        self.held.iter().sum()
+    }
+
+    /// Microinstructions executed by one task.
+    pub fn executed_by(&self, task: TaskId) -> u64 {
+        self.executed[task.index()]
+    }
+
+    /// The fraction of all elapsed cycles in which `task`'s instructions
+    /// completed — the "processor share" unit of §7 ("the 10 megabit/sec
+    /// disk consumes 5% of the processor").
+    ///
+    /// Returns 0 when no cycles have elapsed.
+    pub fn processor_share(&self, task: TaskId) -> f64 {
+        if self.cycles == 0 {
+            0.0
+        } else {
+            self.executed[task.index()] as f64 / self.cycles as f64
+        }
+    }
+
+    /// Cache hit rate over processor references, in `[0, 1]`; 0 if there
+    /// were no references.
+    pub fn cache_hit_rate(&self) -> f64 {
+        if self.cache_refs == 0 {
+            0.0
+        } else {
+            self.cache_hits as f64 / self.cache_refs as f64
+        }
+    }
+
+    /// Elapsed simulated time for a given clock.
+    pub fn elapsed(&self, clock: &ClockConfig) -> f64 {
+        clock.to_seconds(Cycles(self.cycles))
+    }
+
+    /// Difference between two snapshots (`self` later than `earlier`).
+    ///
+    /// # Panics
+    ///
+    /// Panics in debug builds if any counter in `earlier` exceeds `self`'s.
+    pub fn since(&self, earlier: &Stats) -> Stats {
+        let mut d = self.clone();
+        d.cycles -= earlier.cycles;
+        for i in 0..NUM_TASKS {
+            d.executed[i] -= earlier.executed[i];
+            d.held[i] -= earlier.held[i];
+        }
+        d.task_switches -= earlier.task_switches;
+        d.cache_refs -= earlier.cache_refs;
+        d.cache_hits -= earlier.cache_hits;
+        d.storage_refs -= earlier.storage_refs;
+        d.fast_io_munches -= earlier.fast_io_munches;
+        d.slow_io_words -= earlier.slow_io_words;
+        d.macro_instructions -= earlier.macro_instructions;
+        d.ifu_fetches -= earlier.ifu_fetches;
+        d
+    }
+}
+
+impl std::fmt::Display for Stats {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        writeln!(
+            f,
+            "cycles={} instrs={} held={} switches={}",
+            self.cycles,
+            self.instructions(),
+            self.held_cycles(),
+            self.task_switches
+        )?;
+        writeln!(
+            f,
+            "cache: {}/{} hits ({:.1}%), storage refs={}, fast munches={}, slow words={}",
+            self.cache_hits,
+            self.cache_refs,
+            100.0 * self.cache_hit_rate(),
+            self.storage_refs,
+            self.fast_io_munches,
+            self.slow_io_words
+        )?;
+        write!(f, "macroinstructions={}", self.macro_instructions)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn processor_share_basics() {
+        let mut s = Stats::new();
+        assert_eq!(s.processor_share(TaskId::EMULATOR), 0.0);
+        s.cycles = 100;
+        s.executed[0] = 75;
+        s.executed[11] = 5;
+        assert!((s.processor_share(TaskId::EMULATOR) - 0.75).abs() < 1e-12);
+        assert!((s.processor_share(TaskId::new(11)) - 0.05).abs() < 1e-12);
+        assert_eq!(s.instructions(), 80);
+    }
+
+    #[test]
+    fn hit_rate() {
+        let mut s = Stats::new();
+        assert_eq!(s.cache_hit_rate(), 0.0);
+        s.cache_refs = 200;
+        s.cache_hits = 190;
+        assert!((s.cache_hit_rate() - 0.95).abs() < 1e-12);
+    }
+
+    #[test]
+    fn since_subtracts() {
+        let mut a = Stats::new();
+        a.cycles = 10;
+        a.executed[0] = 8;
+        a.cache_refs = 4;
+        let mut b = a.clone();
+        b.cycles = 25;
+        b.executed[0] = 20;
+        b.cache_refs = 9;
+        let d = b.since(&a);
+        assert_eq!(d.cycles, 15);
+        assert_eq!(d.executed[0], 12);
+        assert_eq!(d.cache_refs, 5);
+    }
+
+    #[test]
+    fn display_is_nonempty() {
+        assert!(!format!("{}", Stats::new()).is_empty());
+    }
+}

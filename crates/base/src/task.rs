@@ -1,0 +1,245 @@
+//! Microcode task identifiers (§5.1).
+//!
+//! The Dorado multiplexes its processor among 16 fixed-priority *tasks*.
+//! Task 0 is the emulator (lowest priority, always requesting service);
+//! tasks 1–15 belong to device controllers, with 15 the highest priority.
+
+use crate::NUM_TASKS;
+
+/// One of the 16 microcode priority levels (§5.1).
+///
+/// Ordering follows priority: `TaskId` 15 > `TaskId` 0.
+///
+/// # Examples
+///
+/// ```
+/// use dorado_base::TaskId;
+///
+/// let disk = TaskId::new(11);
+/// assert!(disk > TaskId::EMULATOR);
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Default)]
+pub struct TaskId(u8);
+
+impl TaskId {
+    /// Task 0: the emulator, "not associated with a device controller; its
+    /// microcode implements the emulator currently resident" (§5.1).
+    pub const EMULATOR: TaskId = TaskId(0);
+
+    /// The highest-priority task, 15.
+    pub const HIGHEST: TaskId = TaskId(15);
+
+    /// Creates a task id.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `raw >= 16`.
+    #[inline]
+    pub fn new(raw: u8) -> Self {
+        assert!(
+            (raw as usize) < NUM_TASKS,
+            "task id {raw} out of range 0..16"
+        );
+        TaskId(raw)
+    }
+
+    /// Creates a task id in const contexts.
+    ///
+    /// # Panics
+    ///
+    /// Panics (at compile time, in const contexts) if `raw >= 16`.
+    pub const fn new_const(raw: u8) -> Self {
+        assert!(raw < 16, "task id out of range 0..16");
+        TaskId(raw)
+    }
+
+    /// Creates a task id from the low 4 bits of `raw`.
+    #[inline]
+    pub fn from_bits(raw: u8) -> Self {
+        TaskId(raw & 0xf)
+    }
+
+    /// The task number as an array index.
+    #[inline]
+    pub fn index(self) -> usize {
+        usize::from(self.0)
+    }
+
+    /// The task number, 0–15.
+    #[inline]
+    pub fn number(self) -> u8 {
+        self.0
+    }
+
+    /// Iterates over all 16 tasks in ascending priority order.
+    pub fn all() -> impl Iterator<Item = TaskId> {
+        (0..NUM_TASKS as u8).map(TaskId)
+    }
+
+    /// The single-bit mask for this task in a wakeup/ready word.
+    #[inline]
+    pub fn mask(self) -> u16 {
+        1 << self.0
+    }
+}
+
+impl std::fmt::Display for TaskId {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "task{}", self.0)
+    }
+}
+
+/// A 16-bit set of tasks, one bit per task (like the `WAKEUP` and `READY`
+/// registers of §6.2.1).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Default)]
+pub struct TaskSet(u16);
+
+impl TaskSet {
+    /// The empty set.
+    pub const EMPTY: TaskSet = TaskSet(0);
+
+    /// Creates a set from a raw bit mask (bit *n* = task *n*).
+    #[inline]
+    pub fn from_bits(bits: u16) -> Self {
+        TaskSet(bits)
+    }
+
+    /// The raw bit mask.
+    #[inline]
+    pub fn bits(self) -> u16 {
+        self.0
+    }
+
+    /// Whether the set is empty.
+    #[inline]
+    pub fn is_empty(self) -> bool {
+        self.0 == 0
+    }
+
+    /// Inserts a task.
+    #[inline]
+    pub fn insert(&mut self, task: TaskId) {
+        self.0 |= task.mask();
+    }
+
+    /// Removes a task.
+    #[inline]
+    pub fn remove(&mut self, task: TaskId) {
+        self.0 &= !task.mask();
+    }
+
+    /// Whether the set contains `task`.
+    #[inline]
+    pub fn contains(self, task: TaskId) -> bool {
+        self.0 & task.mask() != 0
+    }
+
+    /// The highest-priority member, if any.  This is the priority encoder
+    /// of the task arbitration pipeline (§6.2.1).
+    #[inline]
+    pub fn highest(self) -> Option<TaskId> {
+        if self.0 == 0 {
+            None
+        } else {
+            Some(TaskId(15 - self.0.leading_zeros() as u8))
+        }
+    }
+
+    /// Set union.
+    #[inline]
+    pub fn union(self, other: TaskSet) -> TaskSet {
+        TaskSet(self.0 | other.0)
+    }
+}
+
+impl FromIterator<TaskId> for TaskSet {
+    fn from_iter<I: IntoIterator<Item = TaskId>>(iter: I) -> Self {
+        let mut set = TaskSet::EMPTY;
+        for t in iter {
+            set.insert(t);
+        }
+        set
+    }
+}
+
+impl Extend<TaskId> for TaskSet {
+    fn extend<I: IntoIterator<Item = TaskId>>(&mut self, iter: I) {
+        for t in iter {
+            self.insert(t);
+        }
+    }
+}
+
+impl std::fmt::Display for TaskSet {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "{{")?;
+        let mut first = true;
+        for t in TaskId::all().filter(|t| self.contains(*t)) {
+            if !first {
+                write!(f, ",")?;
+            }
+            write!(f, "{}", t.number())?;
+            first = false;
+        }
+        write!(f, "}}")
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn emulator_is_lowest_priority() {
+        assert!(TaskId::all().all(|t| t >= TaskId::EMULATOR));
+        assert_eq!(TaskId::EMULATOR.index(), 0);
+        assert_eq!(TaskId::HIGHEST.number(), 15);
+    }
+
+    #[test]
+    #[should_panic(expected = "out of range")]
+    fn new_rejects_16() {
+        let _ = TaskId::new(16);
+    }
+
+    #[test]
+    fn from_bits_masks() {
+        assert_eq!(TaskId::from_bits(0x1f), TaskId::new(15));
+    }
+
+    #[test]
+    fn set_insert_remove_contains() {
+        let mut s = TaskSet::EMPTY;
+        assert!(s.is_empty());
+        s.insert(TaskId::new(3));
+        s.insert(TaskId::new(11));
+        assert!(s.contains(TaskId::new(3)));
+        assert!(!s.contains(TaskId::new(4)));
+        s.remove(TaskId::new(3));
+        assert!(!s.contains(TaskId::new(3)));
+        assert!(s.contains(TaskId::new(11)));
+    }
+
+    #[test]
+    fn highest_is_priority_encoder() {
+        assert_eq!(TaskSet::EMPTY.highest(), None);
+        let s: TaskSet = [TaskId::new(0), TaskId::new(7), TaskId::new(12)]
+            .into_iter()
+            .collect();
+        assert_eq!(s.highest(), Some(TaskId::new(12)));
+    }
+
+    #[test]
+    fn union_combines() {
+        let a = TaskSet::from_bits(0b0011);
+        let b = TaskSet::from_bits(0b0110);
+        assert_eq!(a.union(b).bits(), 0b0111);
+    }
+
+    #[test]
+    fn display_lists_members() {
+        let s: TaskSet = [TaskId::new(1), TaskId::new(15)].into_iter().collect();
+        assert_eq!(format!("{s}"), "{1,15}");
+        assert_eq!(format!("{}", TaskSet::EMPTY), "{}");
+    }
+}

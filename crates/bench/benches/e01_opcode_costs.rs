@@ -1,0 +1,30 @@
+//! E1 (§7): microinstructions per macroinstruction, per emulator.
+//! Prints the paper-vs-measured rows, then benchmarks the Mesa load path.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use dorado_bench as h;
+
+fn bench(c: &mut Criterion) {
+    let mesa_load = h::mesa_cost(|p| p.ll(0), 64);
+    let lisp_load = h::lisp_cost(|p| p.lget(0), 64);
+    println!("E1 | Mesa load: {mesa_load:.1} µinst (paper 1-2)");
+    println!("E1 | Lisp load: {lisp_load:.1} µinst (paper ≈5)");
+    println!(
+        "E1 | calls: Mesa {:.0}, Lisp {:.0}, BCPL {:.0} cycles (paper ≈50 / ≈200 / cheap)",
+        h::mesa_call_cycles(),
+        h::lisp_call_cycles(),
+        h::bcpl_call_cycles()
+    );
+    let mut g = c.benchmark_group("e01");
+    g.sample_size(10);
+    g.bench_function("mesa_load_64", |b| {
+        b.iter(|| std::hint::black_box(h::mesa_cost(|p| p.ll(0), 64)))
+    });
+    g.bench_function("lisp_load_64", |b| {
+        b.iter(|| std::hint::black_box(h::lisp_cost(|p| p.lget(0), 64)))
+    });
+    g.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

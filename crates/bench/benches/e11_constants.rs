@@ -1,0 +1,29 @@
+//! E11 (§5.9): byte-form constants — most 16-bit constants in one
+//! microinstruction, any in two.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use dorado_asm::synthesis_cost;
+
+fn bench(c: &mut Criterion) {
+    let corpus: Vec<u16> = (0..256u16)
+        .chain((1..=256u16).map(|v| 0u16.wrapping_sub(v)))
+        .chain((0..16).map(|b| 1u16 << b))
+        .chain((0..16).map(|b| !(1u16 << b)))
+        .collect();
+    let one = corpus.iter().filter(|&&v| synthesis_cost(v) == 1).count();
+    println!(
+        "E11 | {one}/{} realistic constants need one instruction ({:.0}%)",
+        corpus.len(),
+        one as f64 / corpus.len() as f64 * 100.0
+    );
+    let all_two = (0..=u16::MAX).all(|v| synthesis_cost(v) <= 2);
+    println!("E11 | every 16-bit constant fits in two instructions: {all_two}");
+    let mut g = c.benchmark_group("e11");
+    g.bench_function("classify_64k", |b| {
+        b.iter(|| (0..=u16::MAX).map(synthesis_cost).sum::<usize>())
+    });
+    g.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

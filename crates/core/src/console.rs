@@ -1,0 +1,180 @@
+//! The console view of a running machine (§6.2: "an interface to a console
+//! and monitoring microcomputer which is used for initialization and
+//! debugging of the Dorado"; §4: "sophisticated debugging facilities").
+//!
+//! [`Console`] renders machine state the way Ed Fiala's microprogram
+//! debugger did: task status, the visible registers, and disassembled
+//! microcode around the program counter.
+
+use dorado_asm::disasm::disassemble;
+use dorado_base::{MicroAddr, TaskId, NUM_TASKS};
+
+use crate::machine::Dorado;
+
+/// A read-only debugging view over a machine.
+#[derive(Debug)]
+pub struct Console<'m> {
+    m: &'m Dorado,
+}
+
+impl<'m> Console<'m> {
+    /// Attaches to a machine.
+    pub fn new(m: &'m Dorado) -> Self {
+        Console { m }
+    }
+
+    /// One line per task: TPC, LINK, T, IOADDRESS (the task-specific state
+    /// of §5.3).
+    pub fn task_status(&self) -> String {
+        let mut out = String::from("task  TPC      LINK     T      IOADDR\n");
+        let c = self.m.control();
+        let d = self.m.datapath();
+        for t in TaskId::all() {
+            let marker = if t == c.this_task { '*' } else { ' ' };
+            out.push_str(&format!(
+                "{marker}{:<4} {:<8} {:<8} {:04x}   {:04x}\n",
+                t.number(),
+                format!("{}", c.tpc[t.index()]),
+                format!("{}", c.link[t.index()]),
+                d.t[t.index()],
+                d.ioaddress[t.index()],
+            ));
+        }
+        out.push_str(&format!("ready: {}\n", c.ready));
+        out
+    }
+
+    /// The shared data-section registers.
+    pub fn registers(&self) -> String {
+        let d = self.m.datapath();
+        let t = self.m.control().this_task;
+        let mut out = format!(
+            "COUNT={:04x}  Q={:04x}  SHIFTCTL=[{}]  RBASE={:x}  MEMBASE={}  STKP={:02x}{}\n",
+            d.count,
+            d.q,
+            d.shiftctl,
+            d.rbase(t),
+            d.membase(t),
+            d.stackptr(),
+            if d.stack_error { "  STKERR" } else { "" }
+        );
+        out.push_str("RM[0..16): ");
+        for i in 0..16 {
+            out.push_str(&format!("{:04x} ", d.rm[i]));
+        }
+        out.push('\n');
+        out
+    }
+
+    /// Disassembles `count` words starting at `addr`, marking the current
+    /// program counter.
+    pub fn listing(&self, addr: MicroAddr, count: usize) -> String {
+        let mut out = String::new();
+        let pc = self.m.control().this_pc;
+        for k in 0..count {
+            let a = MicroAddr::new(addr.raw().wrapping_add(k as u16));
+            let marker = if a == pc { "->" } else { "  " };
+            out.push_str(&format!(
+                "{marker} {}\n",
+                disassemble(a, self.m.read_microstore(a))
+            ));
+        }
+        out
+    }
+
+    /// Disassembly around the current program counter.
+    pub fn where_am_i(&self) -> String {
+        let pc = self.m.control().this_pc;
+        let start = MicroAddr::new(pc.raw().saturating_sub(2));
+        self.listing(start, 5)
+    }
+
+    /// A full status screen.
+    pub fn snapshot(&self) -> String {
+        let s = self.m.stats();
+        format!(
+            "cycle {}  task {}  pc {}\n\n{}\n{}\n{}",
+            s.cycles,
+            self.m.control().this_task,
+            self.m.control().this_pc,
+            self.registers(),
+            self.task_status(),
+            self.where_am_i()
+        )
+    }
+
+    /// Per-task cycle accounting (executed / held).
+    pub fn accounting(&self) -> String {
+        let s = self.m.stats();
+        let mut out = String::from("task  executed   held     share\n");
+        for t in 0..NUM_TASKS {
+            if s.executed[t] == 0 && s.held[t] == 0 {
+                continue;
+            }
+            out.push_str(&format!(
+                "{:<5} {:<10} {:<8} {:.2}%\n",
+                t,
+                s.executed[t],
+                s.held[t],
+                s.executed[t] as f64 / s.cycles.max(1) as f64 * 100.0
+            ));
+        }
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::machine::DoradoBuilder;
+    use dorado_asm::{Assembler, Inst};
+
+    fn machine() -> Dorado {
+        let mut a = Assembler::new();
+        a.label("spin");
+        a.emit(Inst::new().ff_halt().goto_("spin"));
+        DoradoBuilder::new()
+            .microcode(a.place().unwrap())
+            .build()
+            .unwrap()
+    }
+
+    #[test]
+    fn snapshot_renders_everything() {
+        let mut m = machine();
+        let _ = m.run(10);
+        let c = Console::new(&m);
+        let snap = c.snapshot();
+        assert!(snap.contains("task0"), "{snap}");
+        assert!(snap.contains("COUNT="), "{snap}");
+        assert!(snap.contains("RM[0..16)"), "{snap}");
+        assert!(snap.contains("->"), "current pc marked: {snap}");
+    }
+
+    #[test]
+    fn task_status_marks_running_task() {
+        let m = machine();
+        let c = Console::new(&m);
+        let status = c.task_status();
+        assert!(status.lines().any(|l| l.starts_with('*')), "{status}");
+        assert_eq!(status.lines().count(), 18, "16 tasks + header + ready");
+    }
+
+    #[test]
+    fn listing_disassembles() {
+        let m = machine();
+        let c = Console::new(&m);
+        let l = c.listing(MicroAddr::new(0), 3);
+        assert_eq!(l.lines().count(), 3);
+        assert!(l.contains("HALT"), "{l}");
+    }
+
+    #[test]
+    fn accounting_counts_cycles() {
+        let mut m = machine();
+        let _ = m.run(5);
+        let c = Console::new(&m);
+        let acc = c.accounting();
+        assert!(acc.contains("0"), "{acc}");
+    }
+}

@@ -1,0 +1,144 @@
+//! Predecoded microinstructions.
+//!
+//! The hardware decodes MIR fields combinationally every cycle (§6.3); the
+//! simulator decodes each microstore word once, when it is loaded, into
+//! this flat struct.
+
+use dorado_asm::{ASel, AluOp, AsmError, BSel, ControlOp, FfOp, LoadControl, Microword};
+
+/// One microinstruction, decoded for execution.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct DecodedInst {
+    /// Low 4 bits of the RM address / stack-pointer delta.
+    pub raddr: u8,
+    /// A-bus source and memory-reference start.
+    pub asel: ASel,
+    /// B-bus source.
+    pub bsel: BSel,
+    /// ALUFM index.
+    pub aluop: AluOp,
+    /// Result loading.
+    pub load: LoadControl,
+    /// Block / stack-op bit.
+    pub block: bool,
+    /// Raw FF byte (constant byte or page number when not an op).
+    pub ff_raw: u8,
+    /// The FF function, when the FF byte is one (i.e. BSelect is not a
+    /// constant and NextControl is not a long transfer).
+    pub ff_op: Option<FfOp>,
+    /// Sequencing.
+    pub control: ControlOp,
+}
+
+impl DecodedInst {
+    /// Decodes a packed microword.
+    ///
+    /// # Errors
+    ///
+    /// Returns an [`AsmError`] for reserved field encodings.
+    pub fn decode(word: Microword) -> Result<Self, AsmError> {
+        let control = word.control()?;
+        let bsel = word.bsel()?;
+        let ff_is_function = !bsel.is_constant() && !control.uses_ff_page();
+        let ff_op = if ff_is_function {
+            Some(FfOp::decode(word.ff())?)
+        } else {
+            None
+        };
+        if ff_op == Some(FfOp::IfuLoadPc) && control == ControlOp::IfuJump {
+            // The jump clears the IFU's buffer; a same-cycle dispatch
+            // would read a stream that no longer exists.  Microcode must
+            // redirect first and dispatch in a later instruction.
+            return Err(AsmError::FfConflict {
+                first: "IfuLoadPc redirects the IFU".into(),
+                second: "IFUJump dispatches in the same cycle".into(),
+            });
+        }
+        Ok(DecodedInst {
+            raddr: word.raddr(),
+            asel: word.asel()?,
+            bsel,
+            aluop: word.aluop(),
+            load: word.load_control()?,
+            block: word.block(),
+            ff_raw: word.ff(),
+            ff_op,
+            control,
+        })
+    }
+
+    /// The stack-pointer delta encoded in RAddress (−8..=7).
+    pub fn stack_delta(&self) -> i8 {
+        ((self.raddr as i8) << 4) >> 4
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use dorado_asm::Cond;
+
+    #[test]
+    fn decode_plain_instruction() {
+        let w = Microword::default()
+            .with_raddr(7)
+            .with_aluop(AluOp::SUB)
+            .with_bsel(BSel::T)
+            .with_asel(ASel::FetchR)
+            .with_load_control(LoadControl::T)
+            .with_ff(FfOp::DecCount.encode())
+            .with_control(ControlOp::Goto { offset: 3 });
+        let d = DecodedInst::decode(w).unwrap();
+        assert_eq!(d.raddr, 7);
+        assert_eq!(d.ff_op, Some(FfOp::DecCount));
+        assert_eq!(d.control, ControlOp::Goto { offset: 3 });
+    }
+
+    #[test]
+    fn constant_bsel_suppresses_ff_decode() {
+        // FF byte 0xff would be a reserved function encoding, but as a
+        // constant byte it must pass.
+        let w = Microword::default().with_bsel(BSel::ConstLo0).with_ff(0xff);
+        let d = DecodedInst::decode(w).unwrap();
+        assert_eq!(d.ff_op, None);
+        assert_eq!(d.ff_raw, 0xff);
+    }
+
+    #[test]
+    fn long_goto_suppresses_ff_decode() {
+        let w = Microword::default()
+            .with_control(ControlOp::GotoLong { offset: 1 })
+            .with_ff(0xff);
+        let d = DecodedInst::decode(w).unwrap();
+        assert_eq!(d.ff_op, None);
+    }
+
+    #[test]
+    fn reserved_ff_function_rejected() {
+        let w = Microword::default().with_ff(0xff); // bsel Rm: FF is a function
+        assert!(DecodedInst::decode(w).is_err());
+    }
+
+    #[test]
+    fn stack_delta_sign() {
+        let w = Microword::default().with_raddr(0xe);
+        let d = DecodedInst::decode(w).unwrap();
+        assert_eq!(d.stack_delta(), -2);
+    }
+
+    #[test]
+    fn branch_decodes() {
+        let w = Microword::default().with_control(ControlOp::CondGoto {
+            cond: Cond::CntZero,
+            pair: 4,
+        });
+        let d = DecodedInst::decode(w).unwrap();
+        assert_eq!(
+            d.control,
+            ControlOp::CondGoto {
+                cond: Cond::CntZero,
+                pair: 4
+            }
+        );
+    }
+}

@@ -1,0 +1,67 @@
+//! Cycle-stamped execution traces, in the spirit of the microprogram
+//! debugger the real machine was controlled with.
+
+use crate::machine::HoldCause;
+use dorado_base::{MicroAddr, TaskId};
+
+/// One cycle of execution, as recorded when tracing is enabled.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct TraceEvent {
+    /// The cycle number (from machine reset).
+    pub cycle: u64,
+    /// The task whose instruction occupied the cycle.
+    pub task: TaskId,
+    /// The instruction's microstore address.
+    pub addr: MicroAddr,
+    /// Why the instruction was held, if it was.
+    pub held: Option<HoldCause>,
+    /// The task selected to execute in the following cycle.
+    pub next_task: TaskId,
+}
+
+impl std::fmt::Display for TraceEvent {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(
+            f,
+            "[{:>8}] {} @{}{}{}",
+            self.cycle,
+            self.task,
+            self.addr,
+            match self.held {
+                Some(cause) => format!(" HELD({cause:?})"),
+                None => String::new(),
+            },
+            if self.next_task != self.task {
+                format!(" -> {}", self.next_task)
+            } else {
+                String::new()
+            }
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_shows_switches_and_holds() {
+        let e = TraceEvent {
+            cycle: 5,
+            task: TaskId::EMULATOR,
+            addr: MicroAddr::new(0o100),
+            held: None,
+            next_task: TaskId::new(11),
+        };
+        let s = format!("{e}");
+        assert!(s.contains("task0") && s.contains("-> task11"), "{s}");
+        let e = TraceEvent {
+            held: Some(HoldCause::MemData),
+            next_task: TaskId::EMULATOR,
+            ..e
+        };
+        let s = format!("{e}");
+        assert!(s.contains("HELD"), "{s}");
+        assert!(!s.contains("->"), "{s}");
+    }
+}

@@ -1,0 +1,136 @@
+//! Memory-map and register-allocation conventions shared by all microcode
+//! in this crate.
+//!
+//! The Dorado gives microcode 32 memory base registers, 256 RM registers
+//! (16 visible at a time through the task's RBASE), four hardware stacks,
+//! and a task-specific T; everything here is convention, exactly as it was
+//! for the real machine's microcoders.
+
+use dorado_base::{TaskId, VirtAddr};
+
+// --- memory base registers (§6.3.3) ----------------------------------------
+
+/// Base register 0: the flat data space, value 0.
+pub const BR_DATA: u8 = 0;
+/// Base register 2: the current local frame (Mesa/BCPL `L`).
+pub const BR_LOCAL: u8 = 2;
+/// Base register 3: the global frame (Mesa `G`).
+pub const BR_GLOBAL: u8 = 3;
+/// Base register 4: BitBlt source bitmap.
+pub const BR_SRC: u8 = 4;
+/// Base register 5: BitBlt destination bitmap.
+pub const BR_DST: u8 = 5;
+/// Base register 6: device buffer base (disk).
+pub const BR_DISK: u8 = 6;
+/// Base register 7: device buffer base (display bitmap).
+pub const BR_DISPLAY: u8 = 7;
+/// Base register 8: device buffer base (network).
+pub const BR_NET: u8 = 8;
+/// Base register 9: the Lisp evaluation stack segment.
+pub const BR_LSTACK: u8 = 9;
+
+// --- virtual-address map ----------------------------------------------------
+
+/// Start of the macro code segment (word address; the IFU's code base).
+pub const CODE_BASE: VirtAddr = VirtAddr(0x4000);
+/// Start of the frame pool (Mesa/BCPL activation records).
+pub const FRAME_POOL: u32 = 0x1000;
+/// Number of frames in the pool.
+pub const FRAME_COUNT: u32 = 64;
+/// Words per frame.
+pub const FRAME_WORDS: u32 = 32;
+/// Start of the global frame.
+pub const GLOBAL_FRAME: u32 = 0x0800;
+/// Start of the Lisp evaluation stack (grows upward, 2 words per item).
+pub const LISP_STACK: u32 = 0x2000;
+/// Start of the Lisp heap (cons cells, 2 words each).
+pub const LISP_HEAP: u32 = 0x2800;
+/// Start of the scratch data area examples and tests may use freely.
+pub const SCRATCH: u32 = 0x0100;
+
+// --- task assignments (§5.1) -------------------------------------------------
+
+/// The emulator task.
+pub const TASK_EMU: TaskId = TaskId::EMULATOR;
+/// The disk controller's task.
+pub const TASK_DISK: TaskId = TaskId::new_const(11);
+/// The network controller's task.
+pub const TASK_NET: TaskId = TaskId::new_const(13);
+/// The display controller's (fast I/O) task.
+pub const TASK_DISPLAY: TaskId = TaskId::new_const(14);
+/// A synthetic test device's task.
+pub const TASK_SYNTH: TaskId = TaskId::new_const(10);
+
+// --- IOADDRESS assignments ---------------------------------------------------
+
+/// Disk controller IOADDRESS base.
+pub const IOA_DISK: u16 = 0x10;
+/// Display controller IOADDRESS base.
+pub const IOA_DISPLAY: u16 = 0x20;
+/// Network controller IOADDRESS base.
+pub const IOA_NET: u16 = 0x30;
+/// Synthetic device IOADDRESS base.
+pub const IOA_SYNTH: u16 = 0x40;
+
+// --- RM register allocation (rbase 0: the emulator's window) ----------------
+
+/// Scratch.
+pub const R_TMP: u8 = 0;
+/// Second scratch.
+pub const R_TMP2: u8 = 1;
+/// Head of the free frame list (a data-space word address).
+pub const R_AV: u8 = 2;
+/// Frame pointer used during call/return.
+pub const R_FP: u8 = 3;
+/// Argument count during call.
+pub const R_NARGS: u8 = 4;
+/// Transfer target during call.
+pub const R_TGT: u8 = 5;
+/// Shifter control operand.
+pub const R_CTL: u8 = 6;
+/// Effective address.
+pub const R_ADDR: u8 = 7;
+/// Field value staging.
+pub const R_VAL: u8 = 8;
+/// Multiplicand / divisor.
+pub const R_MPD: u8 = 9;
+/// Lisp: evaluation stack pointer (word address of next free word).
+pub const R_LSP: u8 = 10;
+/// Lisp: heap allocation pointer.
+pub const R_HEAP: u8 = 11;
+/// BitBlt register window base (rbase 1 while BitBlt runs).
+pub const RB_BITBLT: u8 = 1;
+/// Device task RM windows (rbase values).
+pub const RB_DISK: u8 = 4;
+/// Display task RM window.
+pub const RB_DISPLAY: u8 = 5;
+/// Network task RM window.
+pub const RB_NET: u8 = 6;
+/// Synthetic task RM window.
+pub const RB_SYNTH: u8 = 7;
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    #[allow(clippy::assertions_on_constants)] // compile-time map sanity
+    fn regions_do_not_overlap() {
+        let frames_end = FRAME_POOL + FRAME_COUNT * FRAME_WORDS;
+        assert!(GLOBAL_FRAME + 0x100 <= FRAME_POOL);
+        assert!(frames_end <= LISP_STACK);
+        assert!(LISP_STACK < LISP_HEAP);
+        assert!(LISP_HEAP < CODE_BASE.0);
+        assert!(SCRATCH < GLOBAL_FRAME);
+    }
+
+    #[test]
+    fn rm_windows_are_distinct() {
+        let windows = [0u8, RB_BITBLT, RB_DISK, RB_DISPLAY, RB_NET, RB_SYNTH];
+        for (i, a) in windows.iter().enumerate() {
+            for b in &windows[i + 1..] {
+                assert_ne!(a, b);
+            }
+        }
+    }
+}

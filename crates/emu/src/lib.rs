@@ -1,0 +1,40 @@
+//! Microcode for the Dorado: byte-code emulators, BitBlt, and device-task
+//! service loops (§7 of the paper).
+//!
+//! "Four emulators have been implemented for the Dorado, interpreting the
+//! BCPL, Lisp, Mesa and Smalltalk instruction sets."  This crate implements
+//! emulators *in the style of* each of those byte-code sets — the originals
+//! are proprietary and lost to time — with the cost structure the paper
+//! reports:
+//!
+//! * [`mesa`]: a compact stack machine; loads and stores of a 16-bit word
+//!   take one or two microinstructions, field and array operations five to
+//!   ten, a function call a few tens of microinstructions;
+//! * [`lisp`]: 32-bit tagged items with the evaluation stack in memory and
+//!   run-time type checking, so "two loads and two stores are done in a
+//!   basic data transfer operation", complex operations take ten to twenty
+//!   microinstructions, and calls are several times costlier than Mesa's;
+//! * [`bcpl`]: a minimal word-oriented stack machine (the Alto-compatible
+//!   layer), cheaper than Mesa everywhere;
+//! * [`smalltalk`]: message sends through a method cache;
+//! * [`bitblt`]: the bit-boundary block transfer of §7, with a host-side
+//!   reference rasterizer for verification;
+//! * [`devices`]: the disk (3 cycles per 2 words), display fast-I/O (2
+//!   instructions per 16-word munch), and network service loops.
+//!
+//! All microcode is assembled with [`dorado_asm`] and placed into one
+//! microstore image by [`suite::SuiteBuilder`].
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod bcpl;
+pub mod bitblt;
+pub mod devices;
+pub mod layout;
+pub mod lisp;
+pub mod mesa;
+pub mod smalltalk;
+pub mod suite;
+
+pub use suite::{Suite, SuiteBuilder};

@@ -1,0 +1,206 @@
+//! The display controller (§7, Figure 8).
+//!
+//! "The Dorado supports raster scan displays which are refreshed from a full
+//! bitmap in main storage."  The controller consumes bitmap words at the
+//! monitor's dot rate from a munch FIFO kept full by fast-I/O microcode
+//! ("the fast I/O microcode for the display takes only two instructions to
+//! transfer a 16 word block of data from memory to the device").  Control
+//! functions (start/stop, mode) arrive over the slow I/O bus — the
+//! dual-path structure of Figure 8.
+
+use crate::{Device, RatePacer};
+use dorado_base::{TaskId, Word, MUNCH_WORDS};
+use std::collections::VecDeque;
+
+/// Registers: 0 = control (1 = start refresh, 0 = stop), 1 = status.
+#[derive(Debug)]
+pub struct DisplayController {
+    task: TaskId,
+    pacer: RatePacer,
+    fifo: VecDeque<Word>,
+    fifo_depth_munches: usize,
+    active: bool,
+    /// FIFO slots promised to in-flight fast-I/O service.
+    committed: usize,
+    /// Words actually painted (drained at the dot rate).
+    pub painted: u64,
+    /// Words the monitor needed but the FIFO could not supply.
+    pub underruns: u64,
+    /// The most recently painted words, kept for verification (bounded).
+    screen: Vec<Word>,
+    screen_limit: usize,
+}
+
+impl DisplayController {
+    /// The default dot rate in Mbit/s (a modest monitor; §3 quotes device
+    /// bandwidths of 20–400 Mbit/s).
+    pub const DEFAULT_MBPS: f64 = 100.0;
+
+    /// Creates a display wired to `task` at the default dot rate and a
+    /// 60 ns machine cycle.
+    pub fn new(task: TaskId) -> Self {
+        Self::with_rate(task, Self::DEFAULT_MBPS, 60.0)
+    }
+
+    /// Creates a display with an explicit dot rate.
+    pub fn with_rate(task: TaskId, mbps: f64, cycle_ns: f64) -> Self {
+        DisplayController {
+            task,
+            pacer: RatePacer::words_for_mbps(mbps, cycle_ns),
+            fifo: VecDeque::new(),
+            fifo_depth_munches: 4,
+            active: false,
+            committed: 0,
+            painted: 0,
+            underruns: 0,
+            screen: Vec::new(),
+            screen_limit: 1 << 16,
+        }
+    }
+
+    /// Whether refresh is running.
+    pub fn active(&self) -> bool {
+        self.active
+    }
+
+    /// Starts refresh (equivalent to slow-I/O control register write).
+    pub fn start(&mut self) {
+        self.active = true;
+    }
+
+    /// Stops refresh.
+    pub fn stop(&mut self) {
+        self.active = false;
+    }
+
+    /// The captured screen words (bounded; oldest first).
+    pub fn screen(&self) -> &[Word] {
+        &self.screen
+    }
+}
+
+impl Device for DisplayController {
+    fn name(&self) -> &str {
+        "display"
+    }
+
+    fn task(&self) -> TaskId {
+        self.task
+    }
+
+    fn as_any_mut(&mut self) -> &mut dyn std::any::Any {
+        self
+    }
+
+    fn wakeup(&self) -> bool {
+        // Wake the fast-I/O task whenever a whole munch of FIFO space is
+        // free (and not already promised) and refresh is running.  One
+        // extra munch of headroom absorbs the ghost prefetch a preempted
+        // two-instruction service can trigger on resume (§6.2.1's minimum
+        // grain rule).
+        self.active
+            && self.fifo.len() + self.committed + 2 * MUNCH_WORDS
+                <= self.fifo_depth_munches * MUNCH_WORDS
+    }
+
+    fn observe_next(&mut self) {
+        if self.wakeup() {
+            self.committed += MUNCH_WORDS;
+        }
+    }
+
+    fn tick(&mut self) {
+        if !self.active {
+            return;
+        }
+        for _ in 0..self.pacer.step() {
+            match self.fifo.pop_front() {
+                Some(w) => {
+                    self.painted += 1;
+                    if self.screen.len() < self.screen_limit {
+                        self.screen.push(w);
+                    }
+                }
+                None => self.underruns += 1,
+            }
+        }
+    }
+
+    fn input(&mut self, reg: Word) -> Word {
+        match reg {
+            1 => self.fifo.len() as Word,
+            _ => u16::from(self.active),
+        }
+    }
+
+    fn output(&mut self, reg: Word, word: Word) {
+        if reg == 0 {
+            self.active = word != 0;
+        }
+    }
+
+    fn accept_munch(&mut self, munch: &[Word; MUNCH_WORDS]) {
+        self.committed = self.committed.saturating_sub(MUNCH_WORDS);
+        for &w in munch {
+            self.fifo.push_back(w);
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn display() -> DisplayController {
+        DisplayController::with_rate(TaskId::new(14), 100.0, 60.0)
+    }
+
+    #[test]
+    fn wakeup_tracks_fifo_space() {
+        let mut d = display();
+        assert!(!d.wakeup(), "inactive display must not wake its task");
+        d.start();
+        assert!(d.wakeup());
+        for _ in 0..4 {
+            d.accept_munch(&[7; MUNCH_WORDS]);
+        }
+        assert!(!d.wakeup(), "full FIFO");
+    }
+
+    #[test]
+    fn painting_drains_fifo_at_rate() {
+        let mut d = display();
+        d.start();
+        d.accept_munch(&[42; MUNCH_WORDS]);
+        // 100 Mbit/s at 60 ns = 0.375 words/cycle: 16 words in ~43 cycles.
+        for _ in 0..43 {
+            d.tick();
+        }
+        assert_eq!(d.painted, 16);
+        assert_eq!(d.underruns, 0);
+        assert!(d.screen().iter().all(|&w| w == 42));
+    }
+
+    #[test]
+    fn starvation_counts_underruns() {
+        let mut d = display();
+        d.start();
+        for _ in 0..100 {
+            d.tick();
+        }
+        assert!(d.underruns > 0);
+        assert_eq!(d.painted, 0);
+    }
+
+    #[test]
+    fn slow_io_control_path() {
+        let mut d = display();
+        d.output(0, 1);
+        assert!(d.active());
+        assert_eq!(d.input(0), 1);
+        d.accept_munch(&[1; MUNCH_WORDS]);
+        assert_eq!(d.input(1), MUNCH_WORDS as Word);
+        d.output(0, 0);
+        assert!(!d.active());
+    }
+}

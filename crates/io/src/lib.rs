@@ -1,0 +1,419 @@
+//! Device controllers and the I/O interconnect (§5.8, §7).
+//!
+//! The Dorado "shares the processor among all the I/O devices and the
+//! emulator" (§4): a device controller is mostly *microcode* plus a little
+//! hardware.  This crate models the hardware halves: each [`Device`] raises
+//! wakeup requests for its task, exchanges words over the slow I/O busses
+//! (`IOADDRESS`/`IODATA`, one word per cycle = 265 Mbit/s), and exchanges
+//! 16-word munches over the fast I/O path (530 Mbit/s, cache-bypassing).
+//! The microcode halves live in `dorado-emu`.
+//!
+//! Included controllers:
+//!
+//! * [`DiskController`] — the ~10 Mbit/s removable disk of §7;
+//! * [`DisplayController`] — a raster display refreshed over fast I/O
+//!   (Figure 8's dual-path controller);
+//! * [`NetworkController`] — a ~3 Mbit/s experimental-Ethernet-style link;
+//! * [`RateDevice`] — a synthetic device with a configurable data rate, for
+//!   the utilization sweeps in the benchmarks.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod disk;
+pub mod display;
+pub mod network;
+pub mod synth;
+
+pub use disk::DiskController;
+pub use display::DisplayController;
+pub use network::NetworkController;
+pub use synth::RateDevice;
+
+use dorado_base::task::TaskSet;
+use dorado_base::{TaskId, Word, MUNCH_WORDS};
+
+/// A device controller's hardware half.
+///
+/// The trait is object-safe; controllers are boxed into an [`IoSystem`].
+/// Default method bodies let simple devices ignore the fast I/O path.
+pub trait Device: std::fmt::Debug + std::any::Any {
+    /// A short name for traces.
+    fn name(&self) -> &str;
+
+    /// The microcode task this controller is wired to wake (§5.1).
+    fn task(&self) -> TaskId;
+
+    /// Whether the controller is requesting a wakeup this cycle.  "A
+    /// controller will continue to request a wakeup until notified by the
+    /// processor that it is about to receive service" (§5.2).
+    fn wakeup(&self) -> bool;
+
+    /// Called when the controller's task number appears on the NEXT bus —
+    /// the notification that service is imminent (§6.2.1).
+    fn observe_next(&mut self) {}
+
+    /// Called for an explicit `IoNotify` FF operation (the grain-3
+    /// ablation's software wakeup removal); defaults to the same behaviour
+    /// as the NEXT-bus broadcast.
+    fn notify(&mut self) {
+        self.observe_next();
+    }
+
+    /// Upcast for concrete-type access from benches and tests.
+    fn as_any_mut(&mut self) -> &mut dyn std::any::Any;
+
+    /// Advances the device's internal clock by one microcycle.
+    fn tick(&mut self);
+
+    /// Slow I/O input: the device drives IODATA (processor `Input`).
+    /// `reg` is the device-relative register number from IOADDRESS.
+    fn input(&mut self, reg: Word) -> Word;
+
+    /// Slow I/O output: the device accepts a word from IODATA (`Output`).
+    fn output(&mut self, reg: Word, word: Word);
+
+    /// The device's attention line (the `IoAtten` branch condition).
+    fn attention(&self) -> bool {
+        false
+    }
+
+    /// Fast I/O: the device accepts a munch moved from storage
+    /// (`IOFetch16`).
+    fn accept_munch(&mut self, munch: &[Word; MUNCH_WORDS]) {
+        let _ = munch;
+    }
+
+    /// Fast I/O: the device supplies a munch to be moved to storage
+    /// (`IOStore16`).
+    fn supply_munch(&mut self) -> [Word; MUNCH_WORDS] {
+        [0; MUNCH_WORDS]
+    }
+}
+
+/// The I/O interconnect: device registry, IOADDRESS decoding, and wakeup
+/// collection.
+#[derive(Debug, Default)]
+pub struct IoSystem {
+    devices: Vec<Attached>,
+    /// The task seen on NEXT last cycle: devices observe only the rising
+    /// edge of their grant (one wakeup removal per activation, §6.2.1),
+    /// not every cycle of a multi-instruction service.
+    last_next: Option<TaskId>,
+}
+
+#[derive(Debug)]
+struct Attached {
+    base: Word,
+    regs: Word,
+    device: Box<dyn Device>,
+}
+
+impl IoSystem {
+    /// Creates an empty interconnect.
+    pub fn new() -> Self {
+        IoSystem::default()
+    }
+
+    /// Attaches a device claiming IOADDRESS values `base .. base + regs`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the address range overlaps an attached device, `regs` is
+    /// zero, or the range wraps.
+    pub fn attach(&mut self, device: Box<dyn Device>, base: Word, regs: Word) {
+        assert!(regs > 0, "device must claim at least one register");
+        assert!(base.checked_add(regs - 1).is_some(), "address range wraps");
+        for a in &self.devices {
+            let overlap = base < a.base + a.regs && a.base < base + regs;
+            assert!(
+                !overlap,
+                "IOADDRESS range {base}..{} overlaps {}",
+                base + regs,
+                a.device.name()
+            );
+        }
+        self.devices.push(Attached { base, regs, device });
+    }
+
+    /// Number of attached devices.
+    pub fn len(&self) -> usize {
+        self.devices.len()
+    }
+
+    /// Whether no devices are attached.
+    pub fn is_empty(&self) -> bool {
+        self.devices.is_empty()
+    }
+
+    /// Advances all devices one microcycle.
+    pub fn tick(&mut self) {
+        for a in &mut self.devices {
+            a.device.tick();
+        }
+    }
+
+    /// The wakeup requests currently asserted, as a task set (the WAKEUP
+    /// register's inputs, §6.2.1).
+    pub fn wakeups(&self) -> TaskSet {
+        self.devices
+            .iter()
+            .filter(|a| a.device.wakeup())
+            .map(|a| a.device.task())
+            .collect()
+    }
+
+    /// Broadcasts the NEXT bus: devices whose task is *newly* granted see
+    /// the notification and may drop their wakeup (§6.2.1: "the earliest
+    /// the wakeup can be removed is t0 of the task's first instruction").
+    pub fn observe_next(&mut self, next: TaskId) {
+        if self.last_next != Some(next) {
+            for a in &mut self.devices {
+                if a.device.task() == next {
+                    a.device.observe_next();
+                }
+            }
+        }
+        self.last_next = Some(next);
+    }
+
+    fn decode(&mut self, ioaddr: Word) -> Option<(&mut Box<dyn Device>, Word)> {
+        self.devices
+            .iter_mut()
+            .find(|a| ioaddr >= a.base && ioaddr < a.base + a.regs)
+            .map(|a| (&mut a.device, ioaddr - a.base))
+    }
+
+    /// Slow I/O input from the device at `ioaddr`; an unclaimed address
+    /// reads as zero (open bus).
+    pub fn input(&mut self, ioaddr: Word) -> Word {
+        match self.decode(ioaddr) {
+            Some((dev, reg)) => dev.input(reg),
+            None => 0,
+        }
+    }
+
+    /// Slow I/O output to the device at `ioaddr`; unclaimed addresses
+    /// swallow the word.
+    pub fn output(&mut self, ioaddr: Word, word: Word) {
+        if let Some((dev, reg)) = self.decode(ioaddr) {
+            dev.output(reg, word);
+        }
+    }
+
+    /// Explicit wakeup-served notification to the device at `ioaddr`
+    /// (the `IoNotify` FF operation).
+    pub fn notify(&mut self, ioaddr: Word) {
+        if let Some((dev, _)) = self.decode(ioaddr) {
+            dev.notify();
+        }
+    }
+
+    /// The attention line of the device at `ioaddr`.
+    pub fn attention(&mut self, ioaddr: Word) -> bool {
+        match self.decode(ioaddr) {
+            Some((dev, _)) => dev.attention(),
+            None => false,
+        }
+    }
+
+    /// Fast I/O delivery of a munch to the device at `ioaddr`.
+    pub fn accept_munch(&mut self, ioaddr: Word, munch: &[Word; MUNCH_WORDS]) {
+        if let Some((dev, _)) = self.decode(ioaddr) {
+            dev.accept_munch(munch);
+        }
+    }
+
+    /// Fast I/O collection of a munch from the device at `ioaddr`.
+    pub fn supply_munch(&mut self, ioaddr: Word) -> [Word; MUNCH_WORDS] {
+        match self.decode(ioaddr) {
+            Some((dev, _)) => dev.supply_munch(),
+            None => [0; MUNCH_WORDS],
+        }
+    }
+
+    /// Borrows an attached device by name, for test assertions.
+    pub fn device_by_name(&self, name: &str) -> Option<&dyn Device> {
+        self.devices
+            .iter()
+            .find(|a| a.device.name() == name)
+            .map(|a| a.device.as_ref())
+    }
+
+    /// Mutably borrows an attached device by name.
+    pub fn device_by_name_mut(&mut self, name: &str) -> Option<&mut Box<dyn Device>> {
+        self.devices
+            .iter_mut()
+            .find(|a| a.device.name() == name)
+            .map(|a| &mut a.device)
+    }
+}
+
+/// A fixed-point rate accumulator: delivers `num` events per `den` cycles,
+/// spread as evenly as integer arithmetic allows.  Used by every controller
+/// to model its media data rate.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct RatePacer {
+    num: u64,
+    den: u64,
+    acc: u64,
+}
+
+impl RatePacer {
+    /// A pacer delivering `num` events every `den` cycles.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `den` is zero.
+    pub fn new(num: u64, den: u64) -> Self {
+        assert!(den > 0, "rate denominator must be positive");
+        RatePacer { num, den, acc: 0 }
+    }
+
+    /// A pacer for a data rate in megabits/second of 16-bit words, given
+    /// the machine cycle time in nanoseconds.
+    ///
+    /// # Panics
+    ///
+    /// Panics unless both arguments are positive.
+    pub fn words_for_mbps(mbps: f64, cycle_ns: f64) -> Self {
+        assert!(mbps > 0.0 && cycle_ns > 0.0);
+        // words per cycle = mbps · 1e6 bit/s ÷ 16 bit · cycle_ns · 1e-9 s.
+        // Scale to integers with a parts-per-billion denominator.
+        let num = (mbps * 1e6 / 16.0 * cycle_ns).round() as u64;
+        RatePacer::new(num, 1_000_000_000)
+    }
+
+    /// Advances one cycle; returns how many events fire this cycle.
+    pub fn step(&mut self) -> u64 {
+        self.acc += self.num;
+        let events = self.acc / self.den;
+        self.acc %= self.den;
+        events
+    }
+
+    /// Events per cycle as a float (for reporting).
+    pub fn rate(&self) -> f64 {
+        self.num as f64 / self.den as f64
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[derive(Debug)]
+    struct Echo {
+        task: TaskId,
+        last: Word,
+        wake: bool,
+    }
+
+    impl Device for Echo {
+        fn name(&self) -> &str {
+            "echo"
+        }
+        fn task(&self) -> TaskId {
+            self.task
+        }
+        fn as_any_mut(&mut self) -> &mut dyn std::any::Any {
+            self
+        }
+        fn wakeup(&self) -> bool {
+            self.wake
+        }
+        fn observe_next(&mut self) {
+            self.wake = false;
+        }
+        fn tick(&mut self) {}
+        fn input(&mut self, reg: Word) -> Word {
+            self.last.wrapping_add(reg)
+        }
+        fn output(&mut self, _reg: Word, word: Word) {
+            self.last = word;
+        }
+    }
+
+    fn echo(task: u8) -> Box<Echo> {
+        Box::new(Echo {
+            task: TaskId::new(task),
+            last: 0,
+            wake: true,
+        })
+    }
+
+    #[test]
+    fn attach_and_decode() {
+        let mut io = IoSystem::new();
+        assert!(io.is_empty());
+        io.attach(echo(9), 0x10, 4);
+        assert_eq!(io.len(), 1);
+        io.output(0x12, 0xabc);
+        assert_eq!(io.input(0x12), 0xabc + 2);
+        // Unclaimed addresses are open-bus.
+        assert_eq!(io.input(0x50), 0);
+        io.output(0x50, 1); // swallowed
+        assert!(!io.attention(0x10));
+    }
+
+    #[test]
+    #[should_panic(expected = "overlaps")]
+    fn overlapping_ranges_rejected() {
+        let mut io = IoSystem::new();
+        io.attach(echo(9), 0x10, 4);
+        io.attach(echo(10), 0x12, 1);
+    }
+
+    #[test]
+    fn wakeups_collect_and_clear_on_next() {
+        let mut io = IoSystem::new();
+        io.attach(echo(9), 0x10, 1);
+        io.attach(echo(12), 0x20, 1);
+        let w = io.wakeups();
+        assert!(w.contains(TaskId::new(9)) && w.contains(TaskId::new(12)));
+        io.observe_next(TaskId::new(9));
+        let w = io.wakeups();
+        assert!(!w.contains(TaskId::new(9)));
+        assert!(w.contains(TaskId::new(12)));
+    }
+
+    #[test]
+    fn device_lookup_by_name() {
+        let mut io = IoSystem::new();
+        io.attach(echo(9), 0x10, 1);
+        assert!(io.device_by_name("echo").is_some());
+        assert!(io.device_by_name("ghost").is_none());
+        assert!(io.device_by_name_mut("echo").is_some());
+    }
+
+    #[test]
+    fn pacer_average_rate() {
+        let mut p = RatePacer::new(3, 80); // the 10 Mbit/s disk: 3 words/80 cycles
+        let total: u64 = (0..8000).map(|_| p.step()).sum();
+        assert_eq!(total, 300);
+    }
+
+    #[test]
+    fn pacer_from_mbps() {
+        // 10 Mbit/s at 60 ns: 0.0375 words/cycle.
+        let p = RatePacer::words_for_mbps(10.0, 60.0);
+        assert!((p.rate() - 0.0375).abs() < 1e-9);
+        // 265 Mbit/s ≈ one word per cycle.
+        let p = RatePacer::words_for_mbps(265.0, 60.0);
+        assert!((p.rate() - 1.0).abs() < 0.01);
+    }
+
+    #[test]
+    fn pacer_spreads_events() {
+        let mut p = RatePacer::new(1, 3);
+        let pattern: Vec<u64> = (0..9).map(|_| p.step()).collect();
+        assert_eq!(pattern.iter().sum::<u64>(), 3);
+        assert!(pattern.iter().all(|&e| e <= 1));
+    }
+
+    #[test]
+    #[should_panic(expected = "denominator")]
+    fn pacer_rejects_zero_den() {
+        let _ = RatePacer::new(1, 0);
+    }
+}

@@ -1,0 +1,217 @@
+//! The network controller: a ~3 Mbit/s experimental-Ethernet-style link of
+//! the kind the Alto pioneered and the Dorado inherited (§2, §3).
+//!
+//! Receive: arriving packets trickle words into a FIFO at line rate; the
+//! controller wakes its task per word and raises *attention* at packet end.
+//! Transmit: microcode pushes words; the controller drains them at line
+//! rate and "puts them on the wire" (a captured transcript here).
+
+use crate::{Device, RatePacer};
+use dorado_base::{TaskId, Word};
+use std::collections::VecDeque;
+
+/// Registers: 0 = data, 1 = status (rx FIFO occupancy), 2 = control
+/// (writing any value ends the current transmit packet).
+#[derive(Debug)]
+pub struct NetworkController {
+    task: TaskId,
+    pacer: RatePacer,
+    /// Packets waiting to arrive (front = in progress).
+    inbound: VecDeque<Vec<Word>>,
+    /// Words of the in-progress inbound packet already delivered.
+    rx_pos: usize,
+    rx_fifo: VecDeque<Word>,
+    rx_end: bool,
+    /// Words promised to in-flight service.
+    committed: usize,
+    /// Words queued by microcode for transmit.
+    tx_fifo: VecDeque<Word>,
+    tx_current: Vec<Word>,
+    /// Fully transmitted packets (for verification).
+    pub transmitted: Vec<Vec<Word>>,
+    /// Words lost to rx FIFO overflow.
+    pub overruns: u64,
+}
+
+impl NetworkController {
+    /// The default line rate in Mbit/s (the 3 Mbit/s experimental Ethernet).
+    pub const DEFAULT_MBPS: f64 = 3.0;
+
+    /// Creates a controller wired to `task` at the default line rate and a
+    /// 60 ns cycle.
+    pub fn new(task: TaskId) -> Self {
+        Self::with_rate(task, Self::DEFAULT_MBPS, 60.0)
+    }
+
+    /// Creates a controller with an explicit line rate.
+    pub fn with_rate(task: TaskId, mbps: f64, cycle_ns: f64) -> Self {
+        NetworkController {
+            task,
+            pacer: RatePacer::words_for_mbps(mbps, cycle_ns),
+            inbound: VecDeque::new(),
+            rx_pos: 0,
+            rx_fifo: VecDeque::new(),
+            rx_end: false,
+            committed: 0,
+            tx_fifo: VecDeque::new(),
+            tx_current: Vec::new(),
+            transmitted: Vec::new(),
+            overruns: 0,
+        }
+    }
+
+    /// Queues a packet to arrive from the wire.
+    pub fn inject_packet(&mut self, words: Vec<Word>) {
+        assert!(!words.is_empty(), "packets must be non-empty");
+        self.inbound.push_back(words);
+    }
+
+    /// Whether any receive work remains.
+    pub fn rx_busy(&self) -> bool {
+        !self.inbound.is_empty() || !self.rx_fifo.is_empty()
+    }
+}
+
+impl Device for NetworkController {
+    fn name(&self) -> &str {
+        "network"
+    }
+
+    fn task(&self) -> TaskId {
+        self.task
+    }
+
+    fn as_any_mut(&mut self) -> &mut dyn std::any::Any {
+        self
+    }
+
+    fn wakeup(&self) -> bool {
+        self.rx_fifo.len() > self.committed || self.rx_end
+    }
+
+    fn observe_next(&mut self) {
+        if self.rx_fifo.len() > self.committed {
+            self.committed += 1;
+        }
+    }
+
+    fn tick(&mut self) {
+        for _ in 0..self.pacer.step() {
+            // Receive side.
+            if let Some(pkt) = self.inbound.front() {
+                if self.rx_pos < pkt.len() {
+                    if self.rx_fifo.len() >= 64 {
+                        self.overruns += 1;
+                    } else {
+                        self.rx_fifo.push_back(pkt[self.rx_pos]);
+                    }
+                    self.rx_pos += 1;
+                    if self.rx_pos == pkt.len() {
+                        self.inbound.pop_front();
+                        self.rx_pos = 0;
+                        self.rx_end = true;
+                    }
+                }
+            }
+            // Transmit side.
+            if let Some(w) = self.tx_fifo.pop_front() {
+                self.tx_current.push(w);
+            }
+        }
+    }
+
+    fn input(&mut self, reg: Word) -> Word {
+        match reg {
+            0 => {
+                self.committed = self.committed.saturating_sub(1);
+                let w = self.rx_fifo.pop_front().unwrap_or(0);
+                if self.rx_fifo.is_empty() {
+                    self.rx_end = false;
+                }
+                w
+            }
+            _ => self.rx_fifo.len() as Word,
+        }
+    }
+
+    fn output(&mut self, reg: Word, word: Word) {
+        match reg {
+            0 => self.tx_fifo.push_back(word),
+            2 => {
+                // End of packet: flush anything still in the tx FIFO, then
+                // commit the packet to the wire transcript.
+                while let Some(w) = self.tx_fifo.pop_front() {
+                    self.tx_current.push(w);
+                }
+                if !self.tx_current.is_empty() {
+                    self.transmitted.push(std::mem::take(&mut self.tx_current));
+                }
+            }
+            _ => {}
+        }
+    }
+
+    fn attention(&self) -> bool {
+        self.rx_end
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn net() -> NetworkController {
+        NetworkController::new(TaskId::new(13))
+    }
+
+    #[test]
+    fn receive_delivers_packet_and_attention() {
+        let mut n = net();
+        n.inject_packet(vec![10, 20, 30]);
+        assert!(!n.wakeup());
+        // 3 Mbit/s = 0.01125 words/cycle: 3 words need ~267 cycles.
+        for _ in 0..300 {
+            n.tick();
+        }
+        assert!(n.wakeup());
+        assert!(n.attention(), "end of packet raises attention");
+        assert_eq!(n.input(1), 3);
+        assert_eq!((n.input(0), n.input(0), n.input(0)), (10, 20, 30));
+        assert!(!n.attention(), "drained packet clears attention");
+        assert!(!n.rx_busy());
+    }
+
+    #[test]
+    fn transmit_collects_packets() {
+        let mut n = net();
+        for w in [1u16, 2, 3] {
+            n.output(0, w);
+        }
+        for _ in 0..400 {
+            n.tick();
+        }
+        n.output(2, 0); // end of packet
+        assert_eq!(n.transmitted, vec![vec![1, 2, 3]]);
+        // Next packet accumulates separately.
+        n.output(0, 9);
+        n.output(2, 0);
+        assert_eq!(n.transmitted.len(), 2);
+        assert_eq!(n.transmitted[1], vec![9]);
+    }
+
+    #[test]
+    fn overrun_when_unserviced() {
+        let mut n = net();
+        n.inject_packet(vec![0; 200]);
+        for _ in 0..200 * 100 {
+            n.tick();
+        }
+        assert!(n.overruns > 0);
+    }
+
+    #[test]
+    #[should_panic(expected = "non-empty")]
+    fn empty_packets_rejected() {
+        net().inject_packet(vec![]);
+    }
+}

@@ -1,0 +1,112 @@
+//! A small Mesa-like systems language compiling to the Dorado's Mesa
+//! byte codes.
+//!
+//! The paper (§2, §7) motivates the Dorado as a host for *compiled*
+//! languages: "the Mesa instruction set is implemented by a Mesa-specific
+//! set of microinstructions," and the §7 cost table is stated in terms of
+//! what a compiler emits for loads, stores, jumps, and calls.  This crate
+//! closes that loop: it is the compiler whose output the Mesa emulator
+//! runs, so end-to-end tests and benches can be written in source text
+//! instead of hand-threaded byte codes.
+//!
+//! # Language
+//!
+//! ```text
+//! global vsum;                      // global frame slots (LG/SG)
+//! proc gcd(a, b) {                  // procedures: XFER calls, locals in frames
+//!     while b != 0 {
+//!         let t = b;                // block-scoped locals (LL/SL)
+//!         b = a % b;
+//!         a = t;
+//!     }
+//!     return a;
+//! }
+//! vsum = gcd(12, 18) + gcd(25, 15); // top-level statements form main
+//! vsum;                             // the final expression is the result
+//! ```
+//!
+//! * 16-bit words; `+ - *` wrap, `/ %` are unsigned, comparisons are
+//!   signed (exact while `|a−b| < 2^15`).
+//! * `<< >>` need compile-time constant amounts 0–15 (they become raw
+//!   `SHIFTCTL` immediates).
+//! * Builtins `peek(addr)`, `aref(base, index)` read memory;
+//!   `poke(addr, v)` and `aset(base, index, v)` are store statements.
+//! * `&&`/`||`/`!` are logical (0 or 1) with short-circuit evaluation.
+//! * Conditional jumps carry signed byte displacements: a single `if` or
+//!   `while` body is limited to ~127 bytes of code.  Split long bodies
+//!   into procedures.
+//!
+//! # Pipeline
+//!
+//! [`lexer`] → [`parser`] → [`sema`] (resolution, arity and shift checks,
+//! constant folding, frame-slot allocation) → [`codegen`] (byte codes via
+//! [`dorado_emu::mesa::MesaAsm`]).
+//!
+//! # Examples
+//!
+//! ```
+//! let bytes = dorado_lang::compile("let x = 6; let y = 7; x * y;")?;
+//! let mut m = dorado_emu::suite::build_mesa(&bytes)?;
+//! assert!(m.run(1_000_000).halted());
+//! assert_eq!(dorado_emu::mesa::tos(&m), 42);
+//! # Ok::<(), Box<dyn std::error::Error>>(())
+//! ```
+
+pub mod ast;
+pub mod codegen;
+pub mod error;
+pub mod lexer;
+pub mod parser;
+pub mod sema;
+pub mod span;
+pub mod token;
+
+pub use error::CompileError;
+pub use span::Span;
+
+/// Compiles source text to a Mesa byte program.
+///
+/// # Errors
+///
+/// Returns the first lexical, syntactic, or semantic error with its
+/// source span ([`CompileError::render`] formats it against the text).
+pub fn compile(src: &str) -> error::Result<Vec<u8>> {
+    let program = parser::parse(src)?;
+    let resolved = sema::resolve(&program)?;
+    codegen::generate(&resolved)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn compile_produces_bytes() {
+        // `1 + 2` folds; an unfoldable add emits LL/LIB/ADD.
+        assert_eq!(compile("1 + 2;").unwrap(), vec![0x01, 3, 0xfe]);
+        let bytes = compile("let a = 1; a + 2;").unwrap();
+        // lib 1, sl 0, ll 0, lib 2, add, halt.
+        assert_eq!(bytes, vec![0x01, 1, 0x11, 0, 0x10, 0, 0x01, 2, 0x20, 0xfe]);
+    }
+
+    #[test]
+    fn constant_folding_reaches_the_bytecode() {
+        // The whole expression folds to one push.
+        let bytes = compile("(3 + 4) * (10 - 8);").unwrap();
+        assert_eq!(bytes, vec![0x01, 14, 0xfe]);
+    }
+
+    #[test]
+    fn errors_carry_spans() {
+        let src = "let x = yonder;";
+        let e = compile(src).unwrap_err();
+        assert_eq!(&src[e.span.start..e.span.end], "yonder");
+        assert!(e.render(src).contains("unknown variable"));
+    }
+
+    #[test]
+    fn big_literals_use_liw() {
+        let bytes = compile("999;").unwrap();
+        assert_eq!(bytes, vec![0x02, 0x03, 0xe7, 0xfe]);
+    }
+}

@@ -1,0 +1,424 @@
+//! Recursive-descent parser with C-like operator precedence.
+
+use crate::ast::{BinOp, Block, Expr, Global, Proc, Program, Stmt, UnOp};
+use crate::error::{CompileError, Result};
+use crate::lexer::lex;
+use crate::span::Span;
+use crate::token::{Token, TokenKind};
+
+/// Parses a whole source file.
+///
+/// # Errors
+///
+/// Reports the first lexical or syntactic error, with its span.
+pub fn parse(src: &str) -> Result<Program> {
+    let tokens = lex(src)?;
+    Parser { tokens, pos: 0 }.program()
+}
+
+struct Parser {
+    tokens: Vec<Token>,
+    pos: usize,
+}
+
+/// Binding powers, loosest to tightest; unary binds tighter than all.
+fn binop_of(kind: &TokenKind) -> Option<(BinOp, u8)> {
+    Some(match kind {
+        TokenKind::OrOr => (BinOp::LOr, 1),
+        TokenKind::AndAnd => (BinOp::LAnd, 2),
+        TokenKind::Pipe => (BinOp::Or, 3),
+        TokenKind::Caret => (BinOp::Xor, 4),
+        TokenKind::Amp => (BinOp::And, 5),
+        TokenKind::Eq => (BinOp::Eq, 6),
+        TokenKind::Ne => (BinOp::Ne, 6),
+        TokenKind::Lt => (BinOp::Lt, 7),
+        TokenKind::Le => (BinOp::Le, 7),
+        TokenKind::Gt => (BinOp::Gt, 7),
+        TokenKind::Ge => (BinOp::Ge, 7),
+        TokenKind::Shl => (BinOp::Shl, 8),
+        TokenKind::Shr => (BinOp::Shr, 8),
+        TokenKind::Plus => (BinOp::Add, 9),
+        TokenKind::Minus => (BinOp::Sub, 9),
+        TokenKind::Star => (BinOp::Mul, 10),
+        TokenKind::Slash => (BinOp::Div, 10),
+        TokenKind::Percent => (BinOp::Rem, 10),
+        _ => return None,
+    })
+}
+
+impl Parser {
+    fn peek(&self) -> &Token {
+        &self.tokens[self.pos]
+    }
+
+    fn peek2(&self) -> &TokenKind {
+        &self.tokens[(self.pos + 1).min(self.tokens.len() - 1)].kind
+    }
+
+    fn bump(&mut self) -> Token {
+        let t = self.tokens[self.pos].clone();
+        if self.pos + 1 < self.tokens.len() {
+            self.pos += 1;
+        }
+        t
+    }
+
+    fn eat(&mut self, kind: &TokenKind) -> bool {
+        if &self.peek().kind == kind {
+            self.bump();
+            true
+        } else {
+            false
+        }
+    }
+
+    fn expect(&mut self, kind: &TokenKind) -> Result<Token> {
+        if &self.peek().kind == kind {
+            Ok(self.bump())
+        } else {
+            Err(self.unexpected(&format!("expected {}", kind.describe())))
+        }
+    }
+
+    fn expect_ident(&mut self) -> Result<(String, Span)> {
+        match self.peek().kind.clone() {
+            TokenKind::Ident(name) => {
+                let span = self.bump().span;
+                Ok((name, span))
+            }
+            _ => Err(self.unexpected("expected identifier")),
+        }
+    }
+
+    fn unexpected(&self, want: &str) -> CompileError {
+        let t = self.peek();
+        CompileError::new(t.span, format!("{want}, found {}", t.kind.describe()))
+    }
+
+    fn program(&mut self) -> Result<Program> {
+        let mut p = Program::default();
+        while self.peek().kind != TokenKind::Eof {
+            match self.peek().kind {
+                TokenKind::Global => p.globals.push(self.global()?),
+                TokenKind::Proc => p.procs.push(self.proc()?),
+                _ => p.main.push(self.stmt()?),
+            }
+        }
+        Ok(p)
+    }
+
+    fn global(&mut self) -> Result<Global> {
+        let start = self.expect(&TokenKind::Global)?.span;
+        let (name, _) = self.expect_ident()?;
+        let init = if self.eat(&TokenKind::Assign) {
+            Some(self.expr()?)
+        } else {
+            None
+        };
+        let end = self.expect(&TokenKind::Semi)?.span;
+        Ok(Global {
+            name,
+            init,
+            span: start.to(end),
+        })
+    }
+
+    fn proc(&mut self) -> Result<Proc> {
+        let start = self.expect(&TokenKind::Proc)?.span;
+        let (name, name_span) = self.expect_ident()?;
+        self.expect(&TokenKind::LParen)?;
+        let mut params = Vec::new();
+        if !self.eat(&TokenKind::RParen) {
+            loop {
+                params.push(self.expect_ident()?.0);
+                if !self.eat(&TokenKind::Comma) {
+                    break;
+                }
+            }
+            self.expect(&TokenKind::RParen)?;
+        }
+        let body = self.block()?;
+        Ok(Proc {
+            name,
+            params,
+            body,
+            span: start.to(name_span),
+        })
+    }
+
+    fn block(&mut self) -> Result<Block> {
+        let start = self.expect(&TokenKind::LBrace)?.span;
+        let mut stmts = Vec::new();
+        loop {
+            if self.peek().kind == TokenKind::RBrace {
+                break;
+            }
+            if self.peek().kind == TokenKind::Eof {
+                return Err(self.unexpected("expected `}`"));
+            }
+            stmts.push(self.stmt()?);
+        }
+        let end = self.expect(&TokenKind::RBrace)?.span;
+        Ok(Block {
+            stmts,
+            span: start.to(end),
+        })
+    }
+
+    fn stmt(&mut self) -> Result<Stmt> {
+        match self.peek().kind {
+            TokenKind::Let => {
+                let start = self.bump().span;
+                let (name, _) = self.expect_ident()?;
+                let init = if self.eat(&TokenKind::Assign) {
+                    Some(self.expr()?)
+                } else {
+                    None
+                };
+                let end = self.expect(&TokenKind::Semi)?.span;
+                Ok(Stmt::Let(name, init, start.to(end)))
+            }
+            TokenKind::If => self.if_stmt(),
+            TokenKind::While => {
+                let start = self.bump().span;
+                let cond = self.expr()?;
+                let body = self.block()?;
+                let span = start.to(body.span);
+                Ok(Stmt::While(cond, body, span))
+            }
+            TokenKind::Return => {
+                let start = self.bump().span;
+                let value = if self.peek().kind == TokenKind::Semi {
+                    None
+                } else {
+                    Some(self.expr()?)
+                };
+                let end = self.expect(&TokenKind::Semi)?.span;
+                Ok(Stmt::Return(value, start.to(end)))
+            }
+            TokenKind::LBrace => Ok(Stmt::Block(self.block()?)),
+            // `name = ...` is an assignment; anything else is an
+            // expression statement.
+            TokenKind::Ident(_) if *self.peek2() == TokenKind::Assign => {
+                let (name, start) = self.expect_ident()?;
+                self.expect(&TokenKind::Assign)?;
+                let value = self.expr()?;
+                let end = self.expect(&TokenKind::Semi)?.span;
+                Ok(Stmt::Assign(name, value, start.to(end)))
+            }
+            _ => {
+                let e = self.expr()?;
+                let end = self.expect(&TokenKind::Semi)?.span;
+                let span = e.span().to(end);
+                Ok(Stmt::Expr(e, span))
+            }
+        }
+    }
+
+    fn if_stmt(&mut self) -> Result<Stmt> {
+        let start = self.expect(&TokenKind::If)?.span;
+        let cond = self.expr()?;
+        let then = self.block()?;
+        let mut span = start.to(then.span);
+        let els = if self.eat(&TokenKind::Else) {
+            let b = if self.peek().kind == TokenKind::If {
+                // `else if`: nest the chained if as the sole statement.
+                let inner = self.if_stmt()?;
+                let s = inner.span();
+                Block {
+                    stmts: vec![inner],
+                    span: s,
+                }
+            } else {
+                self.block()?
+            };
+            span = span.to(b.span);
+            Some(b)
+        } else {
+            None
+        };
+        Ok(Stmt::If(cond, then, els, span))
+    }
+
+    fn expr(&mut self) -> Result<Expr> {
+        self.binary(0)
+    }
+
+    fn binary(&mut self, min_bp: u8) -> Result<Expr> {
+        let mut lhs = self.unary()?;
+        while let Some((op, bp)) = binop_of(&self.peek().kind) {
+            if bp < min_bp {
+                break;
+            }
+            self.bump();
+            // Left associative: the right operand must bind tighter.
+            let rhs = self.binary(bp + 1)?;
+            let span = lhs.span().to(rhs.span());
+            lhs = Expr::Binary(op, Box::new(lhs), Box::new(rhs), span);
+        }
+        Ok(lhs)
+    }
+
+    fn unary(&mut self) -> Result<Expr> {
+        let op = match self.peek().kind {
+            TokenKind::Minus => Some(UnOp::Neg),
+            TokenKind::Tilde => Some(UnOp::Not),
+            TokenKind::Bang => Some(UnOp::LNot),
+            _ => None,
+        };
+        if let Some(op) = op {
+            let start = self.bump().span;
+            let e = self.unary()?;
+            let span = start.to(e.span());
+            return Ok(Expr::Unary(op, Box::new(e), span));
+        }
+        self.primary()
+    }
+
+    fn primary(&mut self) -> Result<Expr> {
+        match self.peek().kind.clone() {
+            TokenKind::Int(v) => {
+                let span = self.bump().span;
+                Ok(Expr::Int(v, span))
+            }
+            TokenKind::LParen => {
+                self.bump();
+                let e = self.expr()?;
+                self.expect(&TokenKind::RParen)?;
+                Ok(e)
+            }
+            TokenKind::Ident(name) => {
+                let start = self.bump().span;
+                if self.peek().kind == TokenKind::LParen {
+                    self.bump();
+                    let mut args = Vec::new();
+                    if !self.eat(&TokenKind::RParen) {
+                        loop {
+                            args.push(self.expr()?);
+                            if !self.eat(&TokenKind::Comma) {
+                                break;
+                            }
+                        }
+                        self.expect(&TokenKind::RParen)?;
+                    }
+                    let end = self.tokens[self.pos - 1].span;
+                    Ok(Expr::Call(name, args, start.to(end)))
+                } else {
+                    Ok(Expr::Var(name, start))
+                }
+            }
+            _ => Err(self.unexpected("expected expression")),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn expr(src: &str) -> Expr {
+        let p = parse(&format!("{src};")).unwrap();
+        match p.main.into_iter().next().unwrap() {
+            Stmt::Expr(e, _) => e,
+            other => panic!("not an expr stmt: {other:?}"),
+        }
+    }
+
+    #[test]
+    fn precedence_mul_over_add() {
+        // 1 + 2*3 parses as 1 + (2*3): folds to 7.
+        assert_eq!(expr("1 + 2 * 3").const_value(), Some(7));
+        assert_eq!(expr("(1 + 2) * 3").const_value(), Some(9));
+    }
+
+    #[test]
+    fn left_associativity() {
+        assert_eq!(expr("10 - 3 - 2").const_value(), Some(5));
+        assert_eq!(expr("64 / 4 / 2").const_value(), Some(8));
+    }
+
+    #[test]
+    fn comparison_below_shift() {
+        // 1 << 3 < 16 parses as (1<<3) < 16 = 1.
+        assert_eq!(expr("1 << 3 < 16").const_value(), Some(1));
+    }
+
+    #[test]
+    fn logical_operators_loosest() {
+        assert_eq!(expr("1 + 1 && 0 + 0").const_value(), Some(0));
+        assert_eq!(expr("0 || 2 > 1").const_value(), Some(1));
+    }
+
+    #[test]
+    fn unary_chains() {
+        assert_eq!(expr("!!5").const_value(), Some(1));
+        assert_eq!(expr("- - 3").const_value(), Some(3));
+        assert_eq!(expr("~0").const_value(), Some(0xffff));
+    }
+
+    #[test]
+    fn call_with_args() {
+        let e = expr("f(1, 2 + 3)");
+        match e {
+            Expr::Call(name, args, _) => {
+                assert_eq!(name, "f");
+                assert_eq!(args.len(), 2);
+                assert_eq!(args[1].const_value(), Some(5));
+            }
+            other => panic!("{other:?}"),
+        }
+    }
+
+    #[test]
+    fn else_if_chain_nests() {
+        let p = parse("if a { } else if b { } else { }").unwrap();
+        match &p.main[0] {
+            Stmt::If(_, _, Some(els), _) => match &els.stmts[0] {
+                Stmt::If(_, _, Some(_), _) => {}
+                other => panic!("{other:?}"),
+            },
+            other => panic!("{other:?}"),
+        }
+    }
+
+    #[test]
+    fn program_sections() {
+        let p = parse(
+            "global g = 1;\n\
+             proc f(x, y) { return x + y; }\n\
+             let a = f(2, 3);\n\
+             a;",
+        )
+        .unwrap();
+        assert_eq!(p.globals.len(), 1);
+        assert_eq!(p.procs.len(), 1);
+        assert_eq!(p.procs[0].params, vec!["x", "y"]);
+        assert_eq!(p.main.len(), 2);
+    }
+
+    #[test]
+    fn assignment_vs_equality() {
+        let p = parse("x = 1; x == 1;").unwrap();
+        assert!(matches!(p.main[0], Stmt::Assign(..)));
+        assert!(matches!(p.main[1], Stmt::Expr(..)));
+    }
+
+    #[test]
+    fn missing_semicolon_is_reported() {
+        let e = parse("let x = 1").unwrap_err();
+        assert!(e.msg.contains("`;`"), "{e}");
+    }
+
+    #[test]
+    fn unclosed_block_is_reported() {
+        let e = parse("while 1 { let x = 2;").unwrap_err();
+        assert!(e.msg.contains("`}`"), "{e}");
+    }
+
+    #[test]
+    fn error_span_points_at_offender() {
+        let src = "let x = ;";
+        let e = parse(src).unwrap_err();
+        assert_eq!(&src[e.span.start..e.span.end], ";");
+    }
+}

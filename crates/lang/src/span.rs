@@ -1,0 +1,59 @@
+//! Source positions for error reporting.
+
+/// A half-open byte range into the source text.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct Span {
+    /// First byte of the spanned text.
+    pub start: usize,
+    /// One past the last byte.
+    pub end: usize,
+}
+
+impl Span {
+    /// A span covering `start..end`.
+    pub fn new(start: usize, end: usize) -> Self {
+        Span { start, end }
+    }
+
+    /// The smallest span covering both `self` and `other`.
+    pub fn to(self, other: Span) -> Span {
+        Span {
+            start: self.start.min(other.start),
+            end: self.end.max(other.end),
+        }
+    }
+
+    /// 1-based line and column of the span start within `src`.
+    pub fn line_col(self, src: &str) -> (usize, usize) {
+        let upto = &src[..self.start.min(src.len())];
+        let line = upto.bytes().filter(|&b| b == b'\n').count() + 1;
+        let col = upto.len() - upto.rfind('\n').map_or(0, |i| i + 1) + 1;
+        (line, col)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn line_col_counts_from_one() {
+        let src = "ab\ncd\nef";
+        assert_eq!(Span::new(0, 1).line_col(src), (1, 1));
+        assert_eq!(Span::new(4, 5).line_col(src), (2, 2));
+        assert_eq!(Span::new(6, 7).line_col(src), (3, 1));
+    }
+
+    #[test]
+    fn to_covers_both() {
+        let a = Span::new(3, 5);
+        let b = Span::new(9, 12);
+        assert_eq!(a.to(b), Span::new(3, 12));
+        assert_eq!(b.to(a), Span::new(3, 12));
+    }
+
+    #[test]
+    fn line_col_clamps_past_end() {
+        assert_eq!(Span::new(99, 100).line_col("xy"), (1, 3));
+    }
+}

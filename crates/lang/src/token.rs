@@ -1,0 +1,141 @@
+//! Token definitions for the lexer.
+
+use crate::span::Span;
+
+/// The kind of a lexed token.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum TokenKind {
+    /// An identifier or keyword argument name.
+    Ident(String),
+    /// An integer literal, already range-checked to 16 bits.
+    Int(u16),
+
+    // Keywords.
+    /// `global`
+    Global,
+    /// `proc`
+    Proc,
+    /// `let`
+    Let,
+    /// `if`
+    If,
+    /// `else`
+    Else,
+    /// `while`
+    While,
+    /// `return`
+    Return,
+
+    // Punctuation and operators.
+    /// `(`
+    LParen,
+    /// `)`
+    RParen,
+    /// `{`
+    LBrace,
+    /// `}`
+    RBrace,
+    /// `,`
+    Comma,
+    /// `;`
+    Semi,
+    /// `=`
+    Assign,
+    /// `==`
+    Eq,
+    /// `!=`
+    Ne,
+    /// `<`
+    Lt,
+    /// `<=`
+    Le,
+    /// `>`
+    Gt,
+    /// `>=`
+    Ge,
+    /// `+`
+    Plus,
+    /// `-`
+    Minus,
+    /// `*`
+    Star,
+    /// `/`
+    Slash,
+    /// `%`
+    Percent,
+    /// `&`
+    Amp,
+    /// `|`
+    Pipe,
+    /// `^`
+    Caret,
+    /// `~`
+    Tilde,
+    /// `!`
+    Bang,
+    /// `<<`
+    Shl,
+    /// `>>`
+    Shr,
+    /// `&&`
+    AndAnd,
+    /// `||`
+    OrOr,
+
+    /// End of input.
+    Eof,
+}
+
+impl TokenKind {
+    /// A short human-readable name for diagnostics.
+    pub fn describe(&self) -> String {
+        match self {
+            TokenKind::Ident(n) => format!("identifier `{n}`"),
+            TokenKind::Int(v) => format!("integer `{v}`"),
+            TokenKind::Global => "`global`".into(),
+            TokenKind::Proc => "`proc`".into(),
+            TokenKind::Let => "`let`".into(),
+            TokenKind::If => "`if`".into(),
+            TokenKind::Else => "`else`".into(),
+            TokenKind::While => "`while`".into(),
+            TokenKind::Return => "`return`".into(),
+            TokenKind::LParen => "`(`".into(),
+            TokenKind::RParen => "`)`".into(),
+            TokenKind::LBrace => "`{`".into(),
+            TokenKind::RBrace => "`}`".into(),
+            TokenKind::Comma => "`,`".into(),
+            TokenKind::Semi => "`;`".into(),
+            TokenKind::Assign => "`=`".into(),
+            TokenKind::Eq => "`==`".into(),
+            TokenKind::Ne => "`!=`".into(),
+            TokenKind::Lt => "`<`".into(),
+            TokenKind::Le => "`<=`".into(),
+            TokenKind::Gt => "`>`".into(),
+            TokenKind::Ge => "`>=`".into(),
+            TokenKind::Plus => "`+`".into(),
+            TokenKind::Minus => "`-`".into(),
+            TokenKind::Star => "`*`".into(),
+            TokenKind::Slash => "`/`".into(),
+            TokenKind::Percent => "`%`".into(),
+            TokenKind::Amp => "`&`".into(),
+            TokenKind::Pipe => "`|`".into(),
+            TokenKind::Caret => "`^`".into(),
+            TokenKind::Tilde => "`~`".into(),
+            TokenKind::Bang => "`!`".into(),
+            TokenKind::Shl => "`<<`".into(),
+            TokenKind::Shr => "`>>`".into(),
+            TokenKind::AndAnd => "`&&`".into(),
+            TokenKind::OrOr => "`||`".into(),
+            TokenKind::Eof => "end of input".into(),
+        }
+    }
+}
+
+/// A token with its source span.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Token {
+    /// What was lexed.
+    pub kind: TokenKind,
+    /// Where it was lexed from.
+    pub span: Span,
+}

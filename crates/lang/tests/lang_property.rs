@@ -1,0 +1,228 @@
+//! Differential property tests: random programs are compiled and run on
+//! the simulated Dorado, and the result is compared against a host
+//! interpreter implementing the language's documented semantics
+//! (wrapping arithmetic, sign-bit comparisons, logical shifts).
+//!
+//! This exercises the whole stack at once — lexer, parser, sema,
+//! codegen, the IFU's decode table, the Mesa microcode, the placer, the
+//! cache, and the datapath — with one oracle.
+
+use proptest::prelude::*;
+
+use dorado_emu::mesa;
+use dorado_emu::suite::build_mesa;
+use dorado_lang::compile;
+
+/// A generated expression over variables `v0..vN`, printed fully
+/// parenthesized so precedence never matters.
+#[derive(Debug, Clone)]
+enum GenExpr {
+    Const(u16),
+    Var(usize),
+    Unary(&'static str, Box<GenExpr>),
+    Bin(&'static str, Box<GenExpr>, Box<GenExpr>),
+    /// Division family: divisor forced to a nonzero constant.
+    DivBy(&'static str, Box<GenExpr>, u16),
+    /// Shift by a constant 0–15.
+    Shift(&'static str, Box<GenExpr>, u8),
+}
+
+impl GenExpr {
+    fn print(&self, out: &mut String) {
+        match self {
+            GenExpr::Const(v) => out.push_str(&v.to_string()),
+            GenExpr::Var(i) => out.push_str(&format!("v{i}")),
+            GenExpr::Unary(op, e) => {
+                out.push('(');
+                out.push_str(op);
+                e.print(out);
+                out.push(')');
+            }
+            GenExpr::Bin(op, a, b) => {
+                out.push('(');
+                a.print(out);
+                out.push_str(&format!(" {op} "));
+                b.print(out);
+                out.push(')');
+            }
+            GenExpr::DivBy(op, a, d) => {
+                out.push('(');
+                a.print(out);
+                out.push_str(&format!(" {op} {d})"));
+            }
+            GenExpr::Shift(op, a, n) => {
+                out.push('(');
+                a.print(out);
+                out.push_str(&format!(" {op} {n})"));
+            }
+        }
+    }
+
+    /// The language's semantics on the host: the oracle.
+    fn eval(&self, env: &[u16]) -> u16 {
+        match self {
+            GenExpr::Const(v) => *v,
+            GenExpr::Var(i) => env[*i],
+            GenExpr::Unary(op, e) => {
+                let v = e.eval(env);
+                match *op {
+                    "-" => v.wrapping_neg(),
+                    "~" => !v,
+                    "!" => u16::from(v == 0),
+                    other => unreachable!("{other}"),
+                }
+            }
+            GenExpr::Bin(op, a, b) => {
+                let (a, b) = (a.eval(env), b.eval(env));
+                match *op {
+                    "+" => a.wrapping_add(b),
+                    "-" => a.wrapping_sub(b),
+                    "*" => a.wrapping_mul(b),
+                    "&" => a & b,
+                    "|" => a | b,
+                    "^" => a ^ b,
+                    "==" => u16::from(a == b),
+                    "!=" => u16::from(a != b),
+                    // Documented contract: sign bit of the difference.
+                    "<" => u16::from(a.wrapping_sub(b) & 0x8000 != 0),
+                    ">=" => u16::from(a.wrapping_sub(b) & 0x8000 == 0),
+                    ">" => u16::from(b.wrapping_sub(a) & 0x8000 != 0),
+                    "<=" => u16::from(b.wrapping_sub(a) & 0x8000 == 0),
+                    "&&" => u16::from(a != 0 && b != 0),
+                    "||" => u16::from(a != 0 || b != 0),
+                    other => unreachable!("{other}"),
+                }
+            }
+            GenExpr::DivBy(op, a, d) => {
+                let a = a.eval(env);
+                match *op {
+                    "/" => a / d,
+                    "%" => a % d,
+                    other => unreachable!("{other}"),
+                }
+            }
+            GenExpr::Shift(op, a, n) => {
+                let a = a.eval(env);
+                match *op {
+                    "<<" => a << n,
+                    ">>" => a >> n,
+                    other => unreachable!("{other}"),
+                }
+            }
+        }
+    }
+}
+
+/// Strategy for expressions over `nvars` variables.
+fn expr_strategy(nvars: usize) -> impl Strategy<Value = GenExpr> {
+    let leaf = prop_oneof![
+        any::<u16>().prop_map(GenExpr::Const),
+        (0..nvars).prop_map(GenExpr::Var),
+    ];
+    leaf.prop_recursive(4, 24, 3, |inner| {
+        prop_oneof![
+            (
+                prop_oneof![
+                    Just("+"),
+                    Just("-"),
+                    Just("*"),
+                    Just("&"),
+                    Just("|"),
+                    Just("^"),
+                    Just("=="),
+                    Just("!="),
+                    Just("<"),
+                    Just("<="),
+                    Just(">"),
+                    Just(">="),
+                    Just("&&"),
+                    Just("||"),
+                ],
+                inner.clone(),
+                inner.clone()
+            )
+                .prop_map(|(op, a, b)| GenExpr::Bin(op, Box::new(a), Box::new(b))),
+            (
+                prop_oneof![Just("-"), Just("~"), Just("!")],
+                inner.clone()
+            )
+                .prop_map(|(op, e)| GenExpr::Unary(op, Box::new(e))),
+            (prop_oneof![Just("/"), Just("%")], inner.clone(), 1u16..)
+                .prop_map(|(op, a, d)| GenExpr::DivBy(op, Box::new(a), d)),
+            (prop_oneof![Just("<<"), Just(">>")], inner, 0u8..16)
+                .prop_map(|(op, a, n)| GenExpr::Shift(op, Box::new(a), n)),
+        ]
+    })
+}
+
+/// Compiles `src` and runs it to a halt, returning the result.
+fn run(src: &str) -> u16 {
+    let bytes = compile(src).unwrap_or_else(|e| panic!("{}\n{src}", e.render(src)));
+    let mut m = build_mesa(&bytes).expect("machine build");
+    let out = m.run(20_000_000);
+    assert!(out.halted(), "did not halt: {out:?}\n{src}");
+    mesa::tos(&m)
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(48))]
+
+    /// A single random expression over three variables agrees with the
+    /// host oracle.
+    #[test]
+    fn expressions_match_host_oracle(
+        e in expr_strategy(3),
+        vals in proptest::array::uniform3(any::<u16>()),
+    ) {
+        let mut src = String::new();
+        for (i, v) in vals.iter().enumerate() {
+            src.push_str(&format!("let v{i} = {v};\n"));
+        }
+        e.print(&mut src);
+        src.push(';');
+        prop_assert_eq!(run(&src), e.eval(&vals));
+    }
+
+    /// A straight-line program of dependent lets agrees with the oracle:
+    /// each statement binds a new variable over everything before it.
+    #[test]
+    fn straightline_programs_match_host_oracle(
+        seeds in proptest::collection::vec(expr_strategy(1), 2..5),
+        v0 in any::<u16>(),
+    ) {
+        // Rebase each expression onto the variables defined so far by
+        // reusing var index 0 as "most recent binding".
+        let mut src = format!("let v0 = {v0};\n");
+        let mut env = vec![v0];
+        for (i, e) in seeds.iter().enumerate() {
+            // Variables inside `e` refer to v{i} (the latest).
+            let mut text = String::new();
+            e.print(&mut text);
+            let text = text.replace("v0", &format!("v{i}"));
+            src.push_str(&format!("let v{} = {text};\n", i + 1));
+            env.push(e.eval(&env[i..=i]));
+        }
+        src.push_str(&format!("v{};", env.len() - 1));
+        prop_assert_eq!(run(&src), *env.last().expect("nonempty"));
+    }
+
+    /// A counted loop computes the same running sum as the host.
+    #[test]
+    fn counted_loops_match_host_oracle(
+        n in 1u16..40,
+        step in expr_strategy(1),
+    ) {
+        let mut body = String::new();
+        step.print(&mut body);
+        let src = format!(
+            "let acc = 0; let i = 0;\n\
+             while i < {n} {{ let v0 = i; acc = acc + ({body}); i = i + 1; }}\n\
+             acc;"
+        );
+        let mut want = 0u16;
+        for i in 0..n {
+            want = want.wrapping_add(step.eval(&[i]));
+        }
+        prop_assert_eq!(run(&src), want);
+    }
+}

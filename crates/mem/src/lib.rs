@@ -1,0 +1,57 @@
+//! The Dorado memory system, as the processor sees it.
+//!
+//! The full memory system is the subject of a companion paper (Clark et al.,
+//! *The memory system of a high-performance personal computer*); this crate
+//! models exactly the behaviour the processor paper depends on:
+//!
+//! * a **cache** "which has a latency of two cycles, and can deliver a word
+//!   every cycle" (§3), virtually addressed, write-back, set-associative,
+//!   with 16-word blocks ("munches");
+//! * **main storage** in which "the maximum rate at which storage references
+//!   can be made is one every eight cycles (this is the cycle time of the
+//!   storage RAMs)" (§6.2.1) — giving the 530 Mbit/s bandwidth ceiling;
+//! * **virtual addressing**: "MEMADDRESS provides a sixteen bit
+//!   displacement, which is added to a 28 bit base register in the memory
+//!   system to form a virtual address" (§6.3.2), with 32 base registers
+//!   selected by `MEMBASE`, and a page map from virtual to real pages;
+//! * **`Hold` generation** (§5.7): "the memory keep\[s\] track of when data is
+//!   ready ... if the memory is busy, or the data being used is not ready,
+//!   the memory responds by asserting the signal Hold";
+//! * the **fast I/O path** (§5.8): 16-word munches moved directly between
+//!   storage and devices "without polluting the cache".
+//!
+//! # Examples
+//!
+//! ```
+//! use dorado_base::{TaskId, VirtAddr};
+//! use dorado_mem::{MemConfig, MemorySystem};
+//!
+//! let mut mem = MemorySystem::new(MemConfig::default());
+//! let t = TaskId::EMULATOR;
+//! mem.write_virt(VirtAddr::new(100), 0xbeef);
+//! mem.start_fetch(t, VirtAddr::new(100)).unwrap(); // cold cache: a miss
+//! while mem.memdata(t).is_err() {
+//!     mem.tick(); // the processor would be Held here (§5.7)
+//! }
+//! assert_eq!(mem.memdata(t).unwrap(), 0xbeef);
+//! // The munch is now resident: a fetch to a neighbour hits in 2 cycles.
+//! mem.start_fetch(t, VirtAddr::new(101)).unwrap();
+//! mem.tick();
+//! mem.tick();
+//! assert!(mem.memdata(t).is_ok());
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod cache;
+pub mod config;
+pub mod map;
+pub mod storage;
+pub mod system;
+
+pub use cache::Cache;
+pub use config::MemConfig;
+pub use map::Map;
+pub use storage::Storage;
+pub use system::{Hold, HoldReason, MemCounters, MemorySystem};

@@ -1,0 +1,70 @@
+//! The Lisp emulator: build a list with CONS, walk it with CAR/CDR, and
+//! watch the run-time tag checking cost (§7: "Lisp deals with 32 bit items
+//! and keeps its stack in memory").
+//!
+//! ```sh
+//! cargo run --example lisp_lists
+//! ```
+
+use dorado::emu::lisp::{self, LispAsm};
+use dorado::emu::suite::build_lisp;
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    // (setq l (cons 10 (cons 20 (cons 30 nil))))
+    // (+ (car l) (+ (car (cdr l)) (car (cdr (cdr l))))) = 60
+    let mut p = LispAsm::new();
+    p.push_fix(10);
+    p.push_fix(20);
+    p.push_fix(30);
+    p.push_nil();
+    p.cons(); // (30)
+    p.cons(); // (20 30)
+    p.cons(); // (10 20 30)
+    p.lset(0); // l = the list
+
+    p.lget(0);
+    p.car(); // 10
+    p.lget(0);
+    p.cdr();
+    p.car(); // 20
+    p.add();
+    p.lget(0);
+    p.cdr();
+    p.cdr();
+    p.car(); // 30
+    p.add();
+    p.halt();
+    let bytes = p.assemble()?;
+
+    let mut m = build_lisp(&bytes)?;
+    let outcome = m.run(1_000_000);
+    let (tag, value) = lisp::tos(&m);
+    println!("outcome: {outcome:?}");
+    println!("(+ 10 20 30) via list walking = {value} (tag {tag})");
+
+    let s = m.stats();
+    println!(
+        "\n{} macroinstructions in {} cycles = {:.1} µinstructions each",
+        s.macro_instructions,
+        s.cycles,
+        s.executed[0] as f64 / s.macro_instructions as f64
+    );
+    println!(
+        "(Mesa averages 1-3 for the same work — the 32-bit items, the \
+         memory-resident\n stack, and the tag checks are the difference the \
+         paper describes in §7.)"
+    );
+
+    // And the type system bites: adding NIL to a number halts at the
+    // type-error trap.
+    let mut p = LispAsm::new();
+    p.push_fix(1);
+    p.push_nil();
+    p.add();
+    p.halt();
+    let mut m = build_lisp(&p.assemble()?)?;
+    let _ = m.run(100_000);
+    let at_trap = m.control().this_pc == m.label("lisp:tagerr").unwrap();
+    println!("\n(+ 1 NIL) halts at the run-time type trap: {at_trap}");
+    Ok(())
+}

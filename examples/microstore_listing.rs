@@ -1,0 +1,60 @@
+//! Dump the placed microstore of the full suite: a disassembled listing
+//! with placement statistics, the artifact Ed Fiala's debugger would show.
+//!
+//! ```sh
+//! cargo run --example microstore_listing | less
+//! ```
+
+use dorado::asm::disasm::disassemble;
+use dorado::asm::placer::SlotUse;
+use dorado::base::MicroAddr;
+use dorado::emu::SuiteBuilder;
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    let suite = SuiteBuilder::everything().assemble()?;
+    let placed = suite.placed();
+    let stats = placed.stats();
+    println!(
+        "; full microcode suite: {} instructions, {} relays, {} wasted words",
+        stats.instructions, stats.relays, stats.waste
+    );
+    println!(
+        "; footprint {} of 4096 words, utilization {:.2}%\n",
+        stats.footprint(),
+        stats.utilization() * 100.0
+    );
+
+    // Invert the label map for annotation.
+    let mut labels: Vec<(MicroAddr, &str)> = placed.labels().map(|(n, a)| (a, n)).collect();
+    labels.sort();
+    let label_at = |addr: MicroAddr| -> Vec<&str> {
+        labels
+            .iter()
+            .filter(|(a, _)| *a == addr)
+            .map(|(_, n)| *n)
+            .collect()
+    };
+
+    let mut shown = 0usize;
+    for (i, slot) in placed.uses().iter().enumerate() {
+        let addr = MicroAddr::new(i as u16);
+        match slot {
+            SlotUse::Empty => continue,
+            SlotUse::Waste => {
+                println!("{addr}:  ; (padding)");
+            }
+            SlotUse::Relay(target) => {
+                println!("{}  ; relay -> {target}", disassemble(addr, placed.word(addr)));
+            }
+            SlotUse::Inst(_) => {
+                for l in label_at(addr) {
+                    println!("{l}:");
+                }
+                println!("{}", disassemble(addr, placed.word(addr)));
+            }
+        }
+        shown += 1;
+    }
+    println!("\n; {shown} words listed");
+    Ok(())
+}

@@ -1,0 +1,62 @@
+//! Quickstart: write a few microinstructions, run them on the Dorado, and
+//! look at the machine state.
+//!
+//! ```sh
+//! cargo run --example quickstart
+//! ```
+
+use dorado::asm::{ASel, AluOp, Assembler, Cond, FfOp, Inst};
+use dorado::base::TaskId;
+use dorado::core::DoradoBuilder;
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    // Microcode: sum the integers 1..=10 into T using the COUNT register
+    // and a conditional branch (§6.3.3's one-instruction decrement-and-test).
+    let mut a = Assembler::new();
+    a.emit(Inst::new().ff(FfOp::LoadCountImm(10)).goto_("top"));
+    a.pair_align();
+    a.label("top"); // even: the loop head
+    a.emit(
+        Inst::new()
+            .rm(1)
+            .a(ASel::Rm)
+            .alu(AluOp::INC_A)
+            .load_rm()
+            .goto_("body"),
+    );
+    a.label("exit"); // odd: the loop exit, adjacent per §5.5
+    a.emit(Inst::new().ff_halt().goto_("exit"));
+    a.label("body");
+    a.emit(
+        Inst::new()
+            .rm(1)
+            .b(dorado::asm::BSel::Rm)
+            .a(ASel::T)
+            .alu(AluOp::ADD)
+            .load_t()
+            .ff(FfOp::DecCount)
+            .branch(Cond::CntZero, "exit", "top"),
+    );
+    let placed = a.place()?;
+    println!(
+        "placed {} words (utilization {:.1}%)",
+        placed.words_used(),
+        placed.stats().utilization() * 100.0
+    );
+
+    // Build the machine and run.
+    let mut m = DoradoBuilder::new().microcode(placed).build()?;
+    m.trace_enable(64);
+    let outcome = m.run(1000);
+    println!("outcome: {outcome:?}");
+    println!("T = {} (expected 55)", m.t(TaskId::EMULATOR));
+
+    println!("\nfirst cycles of the trace:");
+    for e in m.take_trace().iter().take(10) {
+        println!("  {e}");
+    }
+
+    let stats = m.stats();
+    println!("\n{stats}");
+    Ok(())
+}

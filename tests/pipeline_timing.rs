@@ -1,0 +1,232 @@
+//! E8: pipeline timing — the Figure 2 / Figure 3 latencies, observed on
+//! the full machine through cycle-stamped traces.
+
+use dorado::asm::{ASel, AluOp, Assembler, BSel, Cond, FfOp, Inst};
+use dorado::base::TaskId;
+use dorado::core::{DoradoBuilder, RunOutcome};
+use dorado::io::{synth::SynthPath, RateDevice};
+
+fn nop() -> Inst {
+    Inst::new()
+}
+
+#[test]
+fn one_microinstruction_issues_per_cycle() {
+    // Figure 2: "A new microinstruction [starts] every cycle time."  N
+    // straight-line instructions take exactly N cycles.
+    let mut a = Assembler::new();
+    for _ in 0..100 {
+        a.emit(nop().a(ASel::T).alu(AluOp::INC_A).load_t());
+    }
+    a.label("fin");
+    a.emit(nop().ff_halt().goto_("fin"));
+    let mut m = DoradoBuilder::new()
+        .microcode(a.place().unwrap())
+        .build()
+        .unwrap();
+    let out = m.run(1000);
+    assert_eq!(out, RunOutcome::Halted { cycles: 101 });
+    assert_eq!(m.t(TaskId::EMULATOR), 100);
+}
+
+#[test]
+fn results_reach_the_register_file_one_instruction_late() {
+    // Figure 2: the RESULT writeback lands in the half cycle *after* the
+    // next instruction reads its operands; only the §5.6 bypass hides it.
+    // With bypassing off, a same-register read one instruction later sees
+    // the old value, and a read two instructions later sees the new one.
+    let mut a = Assembler::new();
+    a.emit(nop().rm(1).const16(7).alu(AluOp::B).load_rm()); // RM[1] ← 7
+    a.emit(nop().rm(1).alu(AluOp::A).load_t()); // distance 1: stale
+    a.emit(nop().rm(1).alu(AluOp::A).rm(1).load_rm().rm(1)); // touch
+    let mut b = a.clone();
+    a.label("fin");
+    a.emit(nop().ff_halt().goto_("fin"));
+    let mut m = DoradoBuilder::new()
+        .microcode(a.place().unwrap())
+        .bypass(false)
+        .build()
+        .unwrap();
+    m.set_rm(1, 0x55);
+    assert!(m.run(100).halted());
+    assert_eq!(m.t(TaskId::EMULATOR), 0x55, "distance-1 read is stale");
+
+    // Distance 2 (insert one unrelated instruction): sees the new value.
+    b.label("fin");
+    b.emit(nop().ff_halt().goto_("fin"));
+    let mut a2 = Assembler::new();
+    a2.emit(nop().rm(1).const16(7).alu(AluOp::B).load_rm());
+    a2.emit(nop().rm(2).alu(AluOp::A)); // unrelated filler
+    a2.emit(nop().rm(1).alu(AluOp::A).load_t()); // distance 2: fresh
+    a2.label("fin");
+    a2.emit(nop().ff_halt().goto_("fin"));
+    let mut m2 = DoradoBuilder::new()
+        .microcode(a2.place().unwrap())
+        .bypass(false)
+        .build()
+        .unwrap();
+    m2.set_rm(1, 0x55);
+    assert!(m2.run(100).halted());
+    assert_eq!(m2.t(TaskId::EMULATOR), 7, "distance-2 read is fresh");
+}
+
+#[test]
+fn branch_conditions_have_no_delay_slot() {
+    // §5.5: the condition is ORed into NEXTPC "about half way into the
+    // instruction fetch cycle" — a branch directly follows the ALU
+    // operation that generates its condition, with no padding.
+    let mut a = Assembler::new();
+    a.emit(nop().rm(3).alu(AluOp::A)); // flags ← RM[3]
+    a.emit(nop().branch(Cond::Zero, "zero", "nonzero"));
+    a.label("nonzero");
+    a.emit(nop().const16(1).alu(AluOp::B).load_t().goto_("f1"));
+    a.label("zero");
+    a.emit(nop().const16(2).alu(AluOp::B).load_t().goto_("f2"));
+    a.label("f1");
+    a.emit(nop().ff_halt().goto_("f1"));
+    a.label("f2");
+    a.emit(nop().ff_halt().goto_("f2"));
+    let placed = a.place().unwrap();
+
+    // Both arms carry constants (busy FF), so the placer materializes the
+    // pair as relay words (the §5.5 target-duplication cost): each path
+    // pays one relay cycle, but the branch itself needs no delay slot.
+    for (seed, expect, cycles) in [(5u16, 1u16, 5u64), (0, 2, 5)] {
+        let mut m = DoradoBuilder::new()
+            .microcode(placed.clone())
+            .build()
+            .unwrap();
+        m.set_rm(3, seed);
+        let out = m.run(100);
+        // test + branch + arm + halt (+ relay on the taken path).
+        assert_eq!(out, RunOutcome::Halted { cycles }, "seed {seed}");
+        assert_eq!(m.t(TaskId::EMULATOR), expect, "seed {seed}");
+    }
+}
+
+#[test]
+fn wakeup_to_first_instruction_is_two_cycles() {
+    // Figure 3 / §6.2.1: "it takes a minimum of two cycles from the time a
+    // wakeup changes to the time the ... change can affect the running
+    // task (one for the priority encoding, one to fetch the
+    // microinstruction)."
+    let task = TaskId::new(10);
+    let mut a = Assembler::new();
+    a.label("emu");
+    a.emit(nop().a(ASel::T).alu(AluOp::INC_A).load_t().goto_("emu"));
+    a.label("io");
+    a.emit(nop().ff(FfOp::IoInput).load_rm().rm(0));
+    a.emit(nop().io_block().goto_("io"));
+    let placed = a.place().unwrap();
+    let mut dev = RateDevice::new(task, 3.0, 60.0, SynthPath::Slow);
+    dev.set_words_per_service(1);
+    dev.start();
+    let mut m = DoradoBuilder::new()
+        .microcode(placed)
+        .device(Box::new(dev), 0x40, 2)
+        .wire_ioaddress(task, 0x40)
+        .task_entry(task, "io")
+        .task_entry(TaskId::EMULATOR, "emu")
+        .build()
+        .unwrap();
+    m.trace_enable(100_000);
+    let _ = m.run(20_000);
+    let trace = m.take_trace();
+    // Locate wakeups: every time the io task starts a service, find how
+    // long the emulator had sole possession beforehand.  The grain proof
+    // lives in the core crate's tests; here we check the 2-cycle latency:
+    // the device asserts its wakeup at a media tick; the service happens
+    // exactly 2 cycles after the arbitration saw it.  Observable signature:
+    // the io task's runs are exactly 2 instructions (service + block).
+    let mut runs = Vec::new();
+    let mut len = 0u32;
+    for e in &trace {
+        if e.task == task {
+            len += 1;
+        } else if len > 0 {
+            runs.push(len);
+            len = 0;
+        }
+    }
+    assert!(runs.len() >= 3, "several services observed: {}", runs.len());
+    assert!(
+        runs.iter().all(|&r| r == 2),
+        "every service is a 2-instruction activation: {runs:?}"
+    );
+}
+
+#[test]
+fn hold_is_jump_to_self_with_running_clocks() {
+    // §5.7: "Hold converts the currently executing instruction into a 'no
+    // operation, jump to self'"; cycles continue to elapse.
+    let mut a = Assembler::new();
+    a.emit(nop().rm(1).a(ASel::FetchR)); // miss: ~26-cycle latency
+    a.emit(nop().b(BSel::MemData).alu(AluOp::B).load_t()); // held
+    a.label("fin");
+    a.emit(nop().ff_halt().goto_("fin"));
+    let mut m = DoradoBuilder::new()
+        .microcode(a.place().unwrap())
+        .build()
+        .unwrap();
+    m.set_rm(1, 0x1000);
+    m.memory_mut()
+        .write_virt(dorado::base::VirtAddr::new(0x1000), 0xfeed);
+    m.trace_enable(1000);
+    let out = m.run(1000);
+    assert!(out.halted());
+    let trace = m.take_trace();
+    let consumer_addr = trace[1].addr;
+    let held: Vec<_> = trace.iter().filter(|e| e.held.is_some()).collect();
+    assert!(!held.is_empty(), "the consumer must hold");
+    assert!(
+        held.iter().all(|e| e.addr == consumer_addr),
+        "held cycles all re-execute the same address (jump to self)"
+    );
+    // Clock kept running: total cycles ≈ fetch + miss penalty + 2.
+    let cycles = out.cycles().unwrap();
+    assert!((26..=32).contains(&cycles), "{cycles}");
+    assert_eq!(m.t(TaskId::EMULATOR), 0xfeed);
+}
+
+#[test]
+fn preempted_task_resumes_where_it_blocked() {
+    // §5.1: tasks "are like coroutines ... when a task is awakened, it
+    // continues execution at the point where it blocked."
+    let task = TaskId::new(9);
+    let mut a = Assembler::new();
+    a.label("emu");
+    a.emit(nop().a(ASel::T).alu(AluOp::INC_A).load_t().goto_("emu"));
+    a.label("io");
+    // Service alternates between two different RM targets across wakeups:
+    // proof that execution resumes mid-stream rather than restarting.
+    a.emit(nop().ff(FfOp::IoInput).load_rm().rm(0));
+    a.emit(nop().io_block().goto_("io2"));
+    a.label("io2");
+    a.emit(nop().ff(FfOp::IoInput).load_rm().rm(1));
+    a.emit(nop().io_block().goto_("io"));
+    let placed = a.place().unwrap();
+    let mut dev = RateDevice::new(task, 5.0, 60.0, SynthPath::Slow);
+    dev.set_words_per_service(1);
+    dev.start();
+    let mut m = DoradoBuilder::new()
+        .microcode(placed)
+        .device(Box::new(dev), 0x40, 2)
+        .wire_ioaddress(task, 0x40)
+        .task_entry(task, "io")
+        .task_entry(TaskId::EMULATOR, "emu")
+        .build()
+        .unwrap();
+    let _ = m.run(40_000);
+    // Words alternate between RM[0] and RM[1]: the task's TPC persisted
+    // across blocks.  Values count 1,2,3...; RM0 gets odd words, RM1 even,
+    // and the two registers hold adjacent words (either phase, depending
+    // on where the run stopped).
+    assert!(m.rm(0) > 0 && m.rm(1) > 0);
+    assert_eq!(m.rm(0) % 2, 1, "RM0 = odd-numbered words: {}", m.rm(0));
+    assert!(
+        m.rm(1) == m.rm(0) + 1 || m.rm(1) == m.rm(0) - 1,
+        "adjacent words: {} vs {}",
+        m.rm(0),
+        m.rm(1)
+    );
+}
