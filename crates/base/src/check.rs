@@ -1,0 +1,198 @@
+//! A minimal, dependency-free property-testing harness.
+//!
+//! The workspace builds hermetically offline, so the property tests are
+//! driven by this splitmix64-seeded case generator instead of an external
+//! crate.  A property is an ordinary function over a [`Rng`]; [`check`]
+//! runs it for N deterministically derived seeds and, when a case panics,
+//! reports the failing seed so the case can be replayed in isolation:
+//!
+//! ```text
+//! property 'alu_add_sub_oracle' failed at case 17 (seed 0x243f6a8885a308d3)
+//! replay with: DORADO_CHECK_SEED=0x243f6a8885a308d3 cargo test alu_add_sub_oracle
+//! ```
+//!
+//! Environment overrides:
+//!
+//! * `DORADO_CHECK_CASES=N` — run N cases per property instead of the
+//!   per-call default;
+//! * `DORADO_CHECK_SEED=0x…` — run exactly one case with the given seed
+//!   (for replaying a reported failure).
+//!
+//! # Examples
+//!
+//! ```
+//! use dorado_base::check::{check, Rng};
+//!
+//! check("addition_commutes", 64, |rng: &mut Rng| {
+//!     let (a, b) = (rng.word(), rng.word());
+//!     assert_eq!(a.wrapping_add(b), b.wrapping_add(a));
+//! });
+//! ```
+
+use std::panic::{catch_unwind, resume_unwind, AssertUnwindSafe};
+
+/// A splitmix64 pseudo-random generator: tiny, fast, and statistically
+/// good enough for test-case generation (Steele, Lea & Flood, OOPSLA'14).
+#[derive(Debug, Clone)]
+pub struct Rng {
+    state: u64,
+}
+
+impl Rng {
+    /// Creates a generator from a seed.
+    pub fn new(seed: u64) -> Self {
+        Rng { state: seed }
+    }
+
+    /// The next 64 random bits.
+    pub fn next_u64(&mut self) -> u64 {
+        self.state = self.state.wrapping_add(0x9e37_79b9_7f4a_7c15);
+        let mut z = self.state;
+        z = (z ^ (z >> 30)).wrapping_mul(0xbf58_476d_1ce4_e5b9);
+        z = (z ^ (z >> 27)).wrapping_mul(0x94d0_49bb_1331_11eb);
+        z ^ (z >> 31)
+    }
+
+    /// The next 32 random bits.
+    pub fn next_u32(&mut self) -> u32 {
+        (self.next_u64() >> 32) as u32
+    }
+
+    /// A uniformly random 16-bit machine word.
+    pub fn word(&mut self) -> u16 {
+        (self.next_u64() >> 48) as u16
+    }
+
+    /// A uniformly random value in `0..n`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `n` is zero.
+    pub fn below(&mut self, n: u64) -> u64 {
+        assert!(n > 0, "empty range");
+        // Multiply-shift rejection-free mapping; bias is < 2^-64 * n,
+        // irrelevant for test generation.
+        ((u128::from(self.next_u64()) * u128::from(n)) >> 64) as u64
+    }
+
+    /// A uniformly random value in `lo..hi` (`hi` exclusive).
+    ///
+    /// # Panics
+    ///
+    /// Panics if the range is empty.
+    pub fn range(&mut self, lo: u64, hi: u64) -> u64 {
+        assert!(lo < hi, "empty range {lo}..{hi}");
+        lo + self.below(hi - lo)
+    }
+
+    /// A uniformly random signed value in `lo..=hi`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `lo > hi`.
+    pub fn range_i64(&mut self, lo: i64, hi: i64) -> i64 {
+        assert!(lo <= hi, "empty range {lo}..={hi}");
+        lo.wrapping_add(self.below((hi - lo + 1) as u64) as i64)
+    }
+
+    /// A random boolean, true with probability `num / den`.
+    pub fn chance(&mut self, num: u64, den: u64) -> bool {
+        self.below(den) < num
+    }
+
+    /// A random element of a non-empty slice.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the slice is empty.
+    pub fn choose<'a, T>(&mut self, xs: &'a [T]) -> &'a T {
+        &xs[self.below(xs.len() as u64) as usize]
+    }
+}
+
+/// Derives the seed for one case of one property, mixing the property name
+/// so distinct properties explore distinct sequences.
+fn case_seed(name: &str, case: u64) -> u64 {
+    let mut h: u64 = 0xcbf2_9ce4_8422_2325; // FNV-1a over the name
+    for b in name.bytes() {
+        h = (h ^ u64::from(b)).wrapping_mul(0x0000_0100_0000_01b3);
+    }
+    // One splitmix step decorrelates adjacent cases.
+    Rng::new(h ^ case.wrapping_mul(0x9e37_79b9_7f4a_7c15)).next_u64()
+}
+
+/// Runs `property` for `default_cases` generated cases (or the
+/// `DORADO_CHECK_CASES` / `DORADO_CHECK_SEED` overrides), reporting the
+/// failing seed before propagating the panic.
+pub fn check<F: Fn(&mut Rng)>(name: &str, default_cases: u64, property: F) {
+    if let Ok(seed) = std::env::var("DORADO_CHECK_SEED") {
+        let raw = seed.trim_start_matches("0x");
+        let seed = u64::from_str_radix(raw, 16)
+            .unwrap_or_else(|_| panic!("bad DORADO_CHECK_SEED `{seed}`"));
+        property(&mut Rng::new(seed));
+        return;
+    }
+    let cases = std::env::var("DORADO_CHECK_CASES")
+        .ok()
+        .and_then(|v| v.parse().ok())
+        .unwrap_or(default_cases);
+    for case in 0..cases {
+        let seed = case_seed(name, case);
+        let result = catch_unwind(AssertUnwindSafe(|| property(&mut Rng::new(seed))));
+        if let Err(panic) = result {
+            eprintln!("property '{name}' failed at case {case} (seed {seed:#018x})");
+            eprintln!("replay with: DORADO_CHECK_SEED={seed:#x} cargo test {name}");
+            resume_unwind(panic);
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn splitmix_reference_vectors() {
+        // Reference output of splitmix64 for seed 1234567 (from the
+        // published C implementation).
+        let mut r = Rng::new(1234567);
+        assert_eq!(r.next_u64(), 0x599e_d017_fb08_fc85);
+    }
+
+    #[test]
+    fn determinism() {
+        let mut a = Rng::new(42);
+        let mut b = Rng::new(42);
+        for _ in 0..100 {
+            assert_eq!(a.next_u64(), b.next_u64());
+        }
+    }
+
+    #[test]
+    fn below_stays_in_range() {
+        let mut r = Rng::new(7);
+        for _ in 0..1000 {
+            assert!(r.below(13) < 13);
+            let v = r.range(5, 9);
+            assert!((5..9).contains(&v));
+            let s = r.range_i64(-3, 3);
+            assert!((-3..=3).contains(&s));
+        }
+    }
+
+    #[test]
+    fn check_runs_every_case() {
+        use std::cell::Cell;
+        let n = Cell::new(0u64);
+        check("counting_property", 17, |_| n.set(n.get() + 1));
+        assert_eq!(n.get(), 17);
+    }
+
+    #[test]
+    fn failing_property_reports_and_panics() {
+        let r = catch_unwind(AssertUnwindSafe(|| {
+            check("always_fails", 3, |_| panic!("nope"));
+        }));
+        assert!(r.is_err());
+    }
+}

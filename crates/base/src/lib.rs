@@ -23,11 +23,18 @@
 #![warn(missing_docs)]
 
 pub mod bits;
+pub mod check;
 pub mod clock;
+pub mod hold;
+pub mod metrics;
+pub mod report;
 pub mod stats;
 pub mod task;
 
 pub use clock::{ClockConfig, Cycles};
+pub use hold::HoldCause;
+pub use metrics::{CacheStats, IfuActivity, PortCounters, Requester, StorageStats};
+pub use report::Report;
 pub use stats::Stats;
 pub use task::TaskId;
 

@@ -1,0 +1,411 @@
+//! The §7 measurement report: the paper's tables, rendered from counters.
+//!
+//! Every quantitative claim in §7 — "the 10 megabit/sec disk consumes 5%
+//! of the processor", "holds cost the emulator about 8%", the 530 Mbit/s
+//! storage ceiling — is a ratio of [`Stats`] counters scaled by the
+//! [`ClockConfig`].  [`Report`] owns that arithmetic, so experiments and
+//! benches assert against named quantities instead of re-deriving them.
+//!
+//! # Examples
+//!
+//! ```
+//! use dorado_base::{ClockConfig, Report, Stats, TaskId};
+//!
+//! let mut s = Stats::new();
+//! s.cycles = 1000;
+//! s.executed[0] = 750;
+//! s.held[0] = 80;
+//! let r = Report::new(s, ClockConfig::multiwire());
+//! assert!((r.utilization(TaskId::EMULATOR) - 0.75).abs() < 1e-12);
+//! assert!((r.hold_fraction(TaskId::EMULATOR) - 80.0 / 830.0).abs() < 1e-12);
+//! ```
+
+use crate::clock::{ClockConfig, Cycles};
+use crate::hold::HoldCause;
+use crate::metrics::Requester;
+use crate::stats::Stats;
+use crate::task::TaskId;
+use crate::{MUNCH_WORDS, NUM_TASKS, Word};
+
+/// A measurement window: a counter snapshot plus the clock that converts
+/// cycle counts into the paper's wall-clock units.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Report {
+    stats: Stats,
+    clock: ClockConfig,
+}
+
+impl Report {
+    /// Builds a report over a counter snapshot.
+    pub fn new(stats: Stats, clock: ClockConfig) -> Self {
+        Report { stats, clock }
+    }
+
+    /// Builds a report over the difference of two snapshots (`later`
+    /// taken after `earlier`), measuring just that window.
+    pub fn between(earlier: &Stats, later: &Stats, clock: ClockConfig) -> Self {
+        Report::new(later.since(earlier), clock)
+    }
+
+    /// The underlying counters.
+    pub fn stats(&self) -> &Stats {
+        &self.stats
+    }
+
+    /// The clock used for bandwidth and time conversions.
+    pub fn clock(&self) -> &ClockConfig {
+        &self.clock
+    }
+
+    /// Total elapsed microcycles in the window.
+    pub fn cycles(&self) -> u64 {
+        self.stats.cycles
+    }
+
+    /// Elapsed simulated time in seconds.
+    pub fn elapsed_seconds(&self) -> f64 {
+        self.clock.to_seconds(Cycles(self.stats.cycles))
+    }
+
+    // --- task utilization (§7: processor shares) ------------------------
+
+    /// Microinstructions one task completed.
+    pub fn executed(&self, task: TaskId) -> u64 {
+        self.stats.executed[task.index()]
+    }
+
+    /// The fraction of all elapsed cycles in which `task`'s instructions
+    /// completed — §7's "processor share" unit.
+    pub fn utilization(&self, task: TaskId) -> f64 {
+        self.fraction(self.stats.executed[task.index()])
+    }
+
+    /// Cycles one task spent held (all causes).
+    pub fn held(&self, task: TaskId) -> u64 {
+        self.stats.held[task.index()]
+    }
+
+    /// The fraction of all elapsed cycles `task` spent held.
+    pub fn held_share(&self, task: TaskId) -> f64 {
+        self.fraction(self.stats.held[task.index()])
+    }
+
+    /// The fraction of elapsed cycles in which *some* task completed an
+    /// instruction (1 − holds/cycles; the machine never truly idles — the
+    /// emulator always requests, §5.1).
+    pub fn busy_fraction(&self) -> f64 {
+        self.fraction(self.stats.instructions())
+    }
+
+    // --- hold breakdown (§5.7, §7) --------------------------------------
+
+    /// Held cycles across all tasks.
+    pub fn holds_total(&self) -> u64 {
+        self.stats.held_cycles()
+    }
+
+    /// Held cycles across all tasks attributed to one cause.
+    pub fn holds_for(&self, cause: HoldCause) -> u64 {
+        self.stats.holds_for(cause)
+    }
+
+    /// Held cycles of one task attributed to one cause.
+    pub fn holds_by(&self, task: TaskId, cause: HoldCause) -> u64 {
+        self.stats.holds_by(task, cause)
+    }
+
+    /// Holds as a fraction of one task's owned cycles (held + executed) —
+    /// the unit of §7's "holds cost the emulator about 8% of its cycles".
+    pub fn hold_fraction(&self, task: TaskId) -> f64 {
+        let i = task.index();
+        let owned = self.stats.executed[i] + self.stats.held[i];
+        if owned == 0 {
+            0.0
+        } else {
+            self.stats.held[i] as f64 / owned as f64
+        }
+    }
+
+    /// Holds across all tasks as a fraction of all elapsed cycles.
+    pub fn hold_share(&self) -> f64 {
+        self.fraction(self.stats.held_cycles())
+    }
+
+    // --- cache and storage (§7) -----------------------------------------
+
+    /// Cache hit rate of one requester's port, in `[0, 1]`.
+    pub fn cache_hit_rate(&self, requester: Requester) -> f64 {
+        self.stats.cache.port(requester).hit_rate()
+    }
+
+    /// Cache hit rate over every port combined.
+    pub fn overall_cache_hit_rate(&self) -> f64 {
+        self.stats.cache.total().hit_rate()
+    }
+
+    /// Fraction of elapsed cycles the storage RAMs were mid-cycle — how
+    /// close the machine ran to §7's "full storage bandwidth".
+    pub fn storage_occupancy(&self) -> f64 {
+        self.stats.storage.occupancy(self.stats.cycles)
+    }
+
+    // --- bandwidth (§5.8, §6.2.1, §7) -----------------------------------
+
+    /// Delivered slow-I/O (IODATA bus) bandwidth in Mbit/s.
+    pub fn slow_io_mbps(&self) -> f64 {
+        self.mbps(self.stats.slow_io_words * Word::BITS as u64)
+    }
+
+    /// Delivered fast-I/O bandwidth in Mbit/s (one munch = 16 words).
+    pub fn fast_io_mbps(&self) -> f64 {
+        self.mbps(self.stats.fast_io_munches * (MUNCH_WORDS * Word::BITS as usize) as u64)
+    }
+
+    /// Total storage-pipeline bandwidth in Mbit/s (fills, write-backs, and
+    /// fast I/O all move munches).
+    pub fn storage_mbps(&self) -> f64 {
+        self.mbps(self.stats.storage.words_moved() * Word::BITS as u64)
+    }
+
+    /// Bandwidth of an arbitrary payload moved during this window, in
+    /// Mbit/s — for workload-defined figures such as BitBlt's bits moved.
+    pub fn workload_mbps(&self, bits: u64) -> f64 {
+        self.mbps(bits)
+    }
+
+    /// Slow-I/O words moved per macroinstruction dispatched; 0 with no
+    /// dispatches.
+    pub fn slow_io_words_per_instruction(&self) -> f64 {
+        if self.stats.macro_instructions == 0 {
+            0.0
+        } else {
+            self.stats.slow_io_words as f64 / self.stats.macro_instructions as f64
+        }
+    }
+
+    // --- emulation (§7: microinstructions per macroinstruction) ---------
+
+    /// Mean microinstructions executed per macroinstruction dispatched;
+    /// 0 with no dispatches.
+    pub fn micro_per_macro(&self) -> f64 {
+        if self.stats.macro_instructions == 0 {
+            0.0
+        } else {
+            self.stats.instructions() as f64 / self.stats.macro_instructions as f64
+        }
+    }
+
+    fn fraction(&self, count: u64) -> f64 {
+        if self.stats.cycles == 0 {
+            0.0
+        } else {
+            count as f64 / self.stats.cycles as f64
+        }
+    }
+
+    fn mbps(&self, bits: u64) -> f64 {
+        if self.stats.cycles == 0 {
+            0.0
+        } else {
+            self.clock.mbits_per_sec(bits, Cycles(self.stats.cycles))
+        }
+    }
+}
+
+impl std::fmt::Display for Report {
+    /// Renders the §7 tables: task utilization, hold breakdown by cause,
+    /// cache hit rates by requester, and bandwidths.
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        let s = &self.stats;
+        writeln!(
+            f,
+            "== report: {} cycles ({:.3} ms at {} ns) ==",
+            s.cycles,
+            self.elapsed_seconds() * 1e3,
+            self.clock.cycle_ns()
+        )?;
+
+        writeln!(f, "-- task utilization --")?;
+        writeln!(f, "task  executed      held   util%  hold%")?;
+        for i in 0..NUM_TASKS {
+            if s.executed[i] == 0 && s.held[i] == 0 {
+                continue;
+            }
+            let task = TaskId::new(i as u8);
+            writeln!(
+                f,
+                "{i:>4}  {:>8}  {:>8}  {:>5.1}  {:>5.1}",
+                s.executed[i],
+                s.held[i],
+                100.0 * self.utilization(task),
+                100.0 * self.held_share(task),
+            )?;
+        }
+        writeln!(
+            f,
+            "      busy {:.1}% of cycles, {} task switches",
+            100.0 * self.busy_fraction(),
+            s.task_switches
+        )?;
+
+        writeln!(f, "-- hold breakdown --")?;
+        for cause in HoldCause::ALL {
+            let n = self.holds_for(cause);
+            if n > 0 {
+                writeln!(f, "{:>12}: {n} ({:.2}% of cycles)", cause.name(), 100.0 * self.fraction(n))?;
+            }
+        }
+        if self.holds_total() == 0 {
+            writeln!(f, "       (none)")?;
+        }
+
+        writeln!(f, "-- cache --")?;
+        for r in Requester::ALL {
+            let p = s.cache.port(r);
+            if p.refs > 0 {
+                writeln!(
+                    f,
+                    "{:>10}: {}/{} hits ({:.1}%)",
+                    r.name(),
+                    p.hits,
+                    p.refs,
+                    100.0 * p.hit_rate()
+                )?;
+            }
+        }
+
+        writeln!(f, "-- storage & bandwidth --")?;
+        writeln!(
+            f,
+            "storage: {} refs ({} fills, {} writebacks, {} fast), occupancy {:.1}%",
+            s.storage.refs,
+            s.storage.fills,
+            s.storage.writebacks,
+            s.storage.fast_fetches + s.storage.fast_stores,
+            100.0 * self.storage_occupancy()
+        )?;
+        writeln!(
+            f,
+            "slow I/O {:.1} Mbit/s, fast I/O {:.1} Mbit/s, storage {:.1} Mbit/s",
+            self.slow_io_mbps(),
+            self.fast_io_mbps(),
+            self.storage_mbps()
+        )?;
+        write!(
+            f,
+            "ifu: {} dispatches, {:.1} micro/macro, taken-branch {:.1}%, buffer mean {:.1} B",
+            s.ifu.dispatches,
+            self.micro_per_macro(),
+            100.0 * s.ifu.taken_branch_fraction(),
+            s.ifu.mean_buffer_bytes()
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample() -> Report {
+        let mut s = Stats::new();
+        s.cycles = 1000;
+        s.executed[0] = 700;
+        s.held[0] = 100;
+        s.held_by[0][HoldCause::MemData.index()] = 60;
+        s.held_by[0][HoldCause::IfuDispatch.index()] = 40;
+        s.executed[11] = 50;
+        s.task_switches = 20;
+        s.slow_io_words = 100;
+        s.fast_io_munches = 10;
+        s.macro_instructions = 75;
+        s.cache.processor.refs = 200;
+        s.cache.processor.hits = 190;
+        s.cache.ifu.refs = 50;
+        s.cache.ifu.hits = 45;
+        s.storage.refs = 15;
+        s.storage.fills = 5;
+        s.storage.fast_fetches = 10;
+        s.storage.busy_cycles = 120;
+        s.ifu.dispatches = 75;
+        s.ifu.jumps = 15;
+        s.ifu.ticks = 1000;
+        s.ifu.buffer_bytes_accum = 4000;
+        Report::new(s, ClockConfig::multiwire())
+    }
+
+    #[test]
+    fn utilization_and_holds() {
+        let r = sample();
+        assert!((r.utilization(TaskId::EMULATOR) - 0.7).abs() < 1e-12);
+        assert!((r.held_share(TaskId::EMULATOR) - 0.1).abs() < 1e-12);
+        assert!((r.hold_fraction(TaskId::EMULATOR) - 0.125).abs() < 1e-12);
+        assert_eq!(r.holds_total(), 100);
+        assert_eq!(r.holds_for(HoldCause::MemData), 60);
+        assert_eq!(r.holds_by(TaskId::EMULATOR, HoldCause::IfuDispatch), 40);
+        assert!((r.busy_fraction() - 0.75).abs() < 1e-12);
+        assert!((r.hold_share() - 0.1).abs() < 1e-12);
+    }
+
+    #[test]
+    fn cache_rates_by_requester() {
+        let r = sample();
+        assert!((r.cache_hit_rate(Requester::Processor) - 0.95).abs() < 1e-12);
+        assert!((r.cache_hit_rate(Requester::Ifu) - 0.9).abs() < 1e-12);
+        assert_eq!(r.cache_hit_rate(Requester::FastIo), 0.0);
+        assert!((r.overall_cache_hit_rate() - 235.0 / 250.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn bandwidths_scale_with_clock() {
+        let r = sample();
+        // 100 words * 16 bits over 1000 cycles * 60 ns = 1600 bits / 60 us.
+        let want = 1600.0 / (1000.0 * 60.0 * 1e-9) / 1e12 * 1e6;
+        assert!((r.slow_io_mbps() - want).abs() < 1e-6, "{}", r.slow_io_mbps());
+        // One munch is 256 bits; 10 munches over the same window.
+        assert!((r.fast_io_mbps() - 10.0 * 256.0 / 1600.0 * want).abs() < 1e-6);
+        // 15 storage refs move 15 munches.
+        assert!((r.storage_mbps() - 15.0 * 256.0 / 1600.0 * want).abs() < 1e-6);
+        assert!((r.storage_occupancy() - 0.12).abs() < 1e-12);
+        assert!((r.workload_mbps(1600) - want).abs() < 1e-6);
+    }
+
+    #[test]
+    fn per_macro_ratios() {
+        let r = sample();
+        assert!((r.micro_per_macro() - 10.0).abs() < 1e-12);
+        assert!((r.slow_io_words_per_instruction() - 100.0 / 75.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn zero_window_is_all_zeroes() {
+        let r = Report::new(Stats::new(), ClockConfig::multiwire());
+        assert_eq!(r.utilization(TaskId::EMULATOR), 0.0);
+        assert_eq!(r.slow_io_mbps(), 0.0);
+        assert_eq!(r.storage_occupancy(), 0.0);
+        assert_eq!(r.micro_per_macro(), 0.0);
+        assert!(!format!("{r}").is_empty());
+    }
+
+    #[test]
+    fn between_measures_a_window() {
+        let mut early = Stats::new();
+        early.cycles = 100;
+        early.executed[0] = 90;
+        let mut late = early.clone();
+        late.cycles = 300;
+        late.executed[0] = 190;
+        let r = Report::between(&early, &late, ClockConfig::multiwire());
+        assert_eq!(r.cycles(), 200);
+        assert!((r.utilization(TaskId::EMULATOR) - 0.5).abs() < 1e-12);
+    }
+
+    #[test]
+    fn display_renders_tables() {
+        let text = format!("{}", sample());
+        assert!(text.contains("task utilization"));
+        assert!(text.contains("hold breakdown"));
+        assert!(text.contains("mem-data"));
+        assert!(text.contains("processor"));
+        assert!(text.contains("Mbit/s"));
+    }
+}

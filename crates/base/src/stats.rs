@@ -6,12 +6,18 @@
 //! instructions dispatched by the IFU.
 
 use crate::clock::{ClockConfig, Cycles};
+use crate::hold::HoldCause;
+use crate::metrics::{CacheStats, IfuActivity, StorageStats};
 use crate::task::TaskId;
 use crate::NUM_TASKS;
 
 /// Counters accumulated while a [`Dorado`] machine runs.
 ///
-/// All counters are cumulative from machine reset.
+/// All counters are cumulative from machine reset.  The flat fields are
+/// machine-wide totals kept for quick inspection; the structured fields
+/// (`held_by`, `cache`, `storage`, `ifu`) carry the per-cause, per-task,
+/// per-requester breakdowns the paper's §7 tables are built from — see
+/// [`crate::report::Report`].
 ///
 /// [`Dorado`]: https://docs.rs/dorado-core
 #[derive(Debug, Clone, Default, PartialEq, Eq)]
@@ -22,6 +28,9 @@ pub struct Stats {
     pub executed: [u64; NUM_TASKS],
     /// Cycles in which each task's microinstruction was held (§5.7).
     pub held: [u64; NUM_TASKS],
+    /// Held cycles broken down by task and by [`HoldCause`]:
+    /// `held_by[task][cause.index()]`.
+    pub held_by: [[u64; HoldCause::COUNT]; NUM_TASKS],
     /// Number of task switches (NEXT task differed from THISTASK).
     pub task_switches: u64,
     /// Cache references started by the processor.
@@ -38,6 +47,12 @@ pub struct Stats {
     pub macro_instructions: u64,
     /// Cache references made by the IFU for byte-stream prefetch.
     pub ifu_fetches: u64,
+    /// Cache traffic split by requester (processor / IFU / fast I/O).
+    pub cache: CacheStats,
+    /// Storage-pipeline traffic and occupancy.
+    pub storage: StorageStats,
+    /// IFU dispatch, branch-outcome, and buffer-fullness activity.
+    pub ifu: IfuActivity,
 }
 
 impl Stats {
@@ -84,6 +99,16 @@ impl Stats {
         }
     }
 
+    /// Held cycles of one task attributed to one cause.
+    pub fn holds_by(&self, task: TaskId, cause: HoldCause) -> u64 {
+        self.held_by[task.index()][cause.index()]
+    }
+
+    /// Held cycles across all tasks attributed to one cause.
+    pub fn holds_for(&self, cause: HoldCause) -> u64 {
+        self.held_by.iter().map(|row| row[cause.index()]).sum()
+    }
+
     /// Elapsed simulated time for a given clock.
     pub fn elapsed(&self, clock: &ClockConfig) -> f64 {
         clock.to_seconds(Cycles(self.cycles))
@@ -100,6 +125,9 @@ impl Stats {
         for i in 0..NUM_TASKS {
             d.executed[i] -= earlier.executed[i];
             d.held[i] -= earlier.held[i];
+            for c in 0..HoldCause::COUNT {
+                d.held_by[i][c] -= earlier.held_by[i][c];
+            }
         }
         d.task_switches -= earlier.task_switches;
         d.cache_refs -= earlier.cache_refs;
@@ -109,6 +137,9 @@ impl Stats {
         d.slow_io_words -= earlier.slow_io_words;
         d.macro_instructions -= earlier.macro_instructions;
         d.ifu_fetches -= earlier.ifu_fetches;
+        d.cache = self.cache.since(&earlier.cache);
+        d.storage = self.storage.since(&earlier.storage);
+        d.ifu = self.ifu.since(&earlier.ifu);
         d
     }
 }
@@ -181,5 +212,38 @@ mod tests {
     #[test]
     fn display_is_nonempty() {
         assert!(!format!("{}", Stats::new()).is_empty());
+    }
+
+    #[test]
+    fn hold_breakdown_accessors() {
+        let mut s = Stats::new();
+        s.held_by[0][HoldCause::MemData.index()] = 7;
+        s.held_by[11][HoldCause::MemData.index()] = 2;
+        s.held_by[0][HoldCause::IfuDispatch.index()] = 3;
+        assert_eq!(s.holds_by(TaskId::EMULATOR, HoldCause::MemData), 7);
+        assert_eq!(s.holds_for(HoldCause::MemData), 9);
+        assert_eq!(s.holds_for(HoldCause::IfuDispatch), 3);
+        assert_eq!(s.holds_for(HoldCause::MemPipe), 0);
+    }
+
+    #[test]
+    fn since_subtracts_structured_counters() {
+        let mut a = Stats::new();
+        a.cycles = 10;
+        a.held_by[0][0] = 2;
+        a.cache.processor.refs = 4;
+        a.storage.busy_cycles = 8;
+        a.ifu.dispatches = 1;
+        let mut b = a.clone();
+        b.cycles = 30;
+        b.held_by[0][0] = 6;
+        b.cache.processor.refs = 10;
+        b.storage.busy_cycles = 20;
+        b.ifu.dispatches = 5;
+        let d = b.since(&a);
+        assert_eq!(d.held_by[0][0], 4);
+        assert_eq!(d.cache.processor.refs, 6);
+        assert_eq!(d.storage.busy_cycles, 12);
+        assert_eq!(d.ifu.dispatches, 4);
     }
 }

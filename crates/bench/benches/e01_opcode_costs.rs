@@ -1,10 +1,10 @@
 //! E1 (§7): microinstructions per macroinstruction, per emulator.
 //! Prints the paper-vs-measured rows, then benchmarks the Mesa load path.
 
-use criterion::{criterion_group, criterion_main, Criterion};
 use dorado_bench as h;
+use dorado_bench::harness::bench;
 
-fn bench(c: &mut Criterion) {
+fn main() {
     let mesa_load = h::mesa_cost(|p| p.ll(0), 64);
     let lisp_load = h::lisp_cost(|p| p.lget(0), 64);
     println!("E1 | Mesa load: {mesa_load:.1} µinst (paper 1-2)");
@@ -15,16 +15,6 @@ fn bench(c: &mut Criterion) {
         h::lisp_call_cycles(),
         h::bcpl_call_cycles()
     );
-    let mut g = c.benchmark_group("e01");
-    g.sample_size(10);
-    g.bench_function("mesa_load_64", |b| {
-        b.iter(|| std::hint::black_box(h::mesa_cost(|p| p.ll(0), 64)))
-    });
-    g.bench_function("lisp_load_64", |b| {
-        b.iter(|| std::hint::black_box(h::lisp_cost(|p| p.lget(0), 64)))
-    });
-    g.finish();
+    bench("e01/mesa_load_64", || h::mesa_cost(|p| p.ll(0), 64));
+    bench("e01/lisp_load_64", || h::lisp_cost(|p| p.lget(0), 64));
 }
-
-criterion_group!(benches, bench);
-criterion_main!(benches);

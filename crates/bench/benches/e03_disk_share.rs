@@ -1,23 +1,15 @@
 //! E3 (§7): the 10 Mbit/s disk consumes 5% of the processor; share scales
 //! with device rate.
 
-use criterion::{criterion_group, criterion_main, Criterion};
 use dorado_bench as h;
+use dorado_bench::harness::bench;
 
-fn bench(c: &mut Criterion) {
+fn main() {
     for mbps in [5.0, 10.0, 20.0, 40.0] {
         println!(
             "E3 | {mbps:>4.0} Mbit/s device -> {:.1}% of the processor (paper: 5% at 10)",
             h::slow_io_share(mbps) * 100.0
         );
     }
-    let mut g = c.benchmark_group("e03");
-    g.sample_size(10);
-    g.bench_function("share_at_10mbps", |b| {
-        b.iter(|| std::hint::black_box(h::slow_io_share(10.0)))
-    });
-    g.finish();
+    bench("e03/share_at_10mbps", || h::slow_io_share(10.0));
 }
-
-criterion_group!(benches, bench);
-criterion_main!(benches);

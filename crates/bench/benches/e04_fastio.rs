@@ -1,23 +1,15 @@
 //! E4 (§7): fast I/O delivers the full 530 Mbit/s memory bandwidth using
 //! one quarter of the processor.
 
-use criterion::{criterion_group, criterion_main, Criterion};
 use dorado_bench as h;
+use dorado_bench::harness::bench;
 use dorado_core::TaskingMode;
 
-fn bench(c: &mut Criterion) {
+fn main() {
     println!("E4 | delivered: {:.0} Mbit/s (paper 530)", h::fastio_mbps());
     println!(
         "E4 | processor share: {:.1}% (paper 25%)",
         h::fastio_share(TaskingMode::OnDemand) * 100.0
     );
-    let mut g = c.benchmark_group("e04");
-    g.sample_size(10);
-    g.bench_function("fastio_50k_cycles", |b| {
-        b.iter(|| std::hint::black_box(h::fastio_mbps()))
-    });
-    g.finish();
+    bench("e04/fastio_50k_cycles", h::fastio_mbps);
 }
-
-criterion_group!(benches, bench);
-criterion_main!(benches);

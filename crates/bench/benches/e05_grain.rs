@@ -2,22 +2,14 @@
 //! of the processor to saturate storage; the "simpler" 3-cycle notify
 //! design needs 37.5%.
 
-use criterion::{criterion_group, criterion_main, Criterion};
 use dorado_bench as h;
+use dorado_bench::harness::bench;
 use dorado_core::TaskingMode;
 
-fn bench(c: &mut Criterion) {
+fn main() {
     let g2 = h::fastio_share(TaskingMode::OnDemand) * 100.0;
     let g3 = h::fastio_share(TaskingMode::NotifyGrain3) * 100.0;
     println!("E5 | 2-cycle grain: {g2:.1}% (paper 25%)");
     println!("E5 | 3-cycle notify: {g3:.1}% (paper 37.5%)");
-    let mut g = c.benchmark_group("e05");
-    g.sample_size(10);
-    g.bench_function("grain3_share", |b| {
-        b.iter(|| std::hint::black_box(h::fastio_share(TaskingMode::NotifyGrain3)))
-    });
-    g.finish();
+    bench("e05/grain3_share", || h::fastio_share(TaskingMode::NotifyGrain3));
 }
-
-criterion_group!(benches, bench);
-criterion_main!(benches);

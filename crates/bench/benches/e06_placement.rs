@@ -1,23 +1,15 @@
 //! E6 (§7): automatic placement fills an essentially full microstore
 //! (paper: 99.9%; this placer: high nineties).
 
-use criterion::{criterion_group, criterion_main, Criterion};
 use dorado_bench as h;
+use dorado_bench::harness::bench;
 
-fn bench(c: &mut Criterion) {
+fn main() {
     for n in [1000usize, 2000, 3400] {
         println!(
             "E6 | {n} instructions -> {:.2}% utilization (paper 99.9%)",
             h::placement_utilization(n) * 100.0
         );
     }
-    let mut g = c.benchmark_group("e06");
-    g.sample_size(10);
-    g.bench_function("place_3400", |b| {
-        b.iter(|| std::hint::black_box(h::placement_utilization(3400)))
-    });
-    g.finish();
+    bench("e06/place_3400", || h::placement_utilization(3400));
 }
-
-criterion_group!(benches, bench);
-criterion_main!(benches);

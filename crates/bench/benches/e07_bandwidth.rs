@@ -1,11 +1,11 @@
 //! E7 (§5.8/§6.2.1): bus bandwidth constants — 265 Mbit/s slow I/O,
 //! 530 Mbit/s storage.
 
-use criterion::{criterion_group, criterion_main, Criterion};
 use dorado_base::Cycles;
 use dorado_bench as h;
+use dorado_bench::harness::bench;
 
-fn bench(c: &mut Criterion) {
+fn main() {
     let clk = h::clock();
     println!(
         "E7 | slow I/O bus: {:.0} Mbit/s (paper 265)",
@@ -15,13 +15,5 @@ fn bench(c: &mut Criterion) {
         "E7 | storage: {:.0} Mbit/s (paper 530)",
         clk.mbits_per_sec(256, Cycles(8))
     );
-    let mut g = c.benchmark_group("e07");
-    g.sample_size(10);
-    g.bench_function("slow_io_80mbps_share", |b| {
-        b.iter(|| std::hint::black_box(h::slow_io_share(80.0)))
-    });
-    g.finish();
+    bench("e07/slow_io_80mbps_share", || h::slow_io_share(80.0));
 }
-
-criterion_group!(benches, bench);
-criterion_main!(benches);

@@ -1,25 +1,14 @@
 //! E8 (Figures 2 & 3): pipeline timings are asserted in
 //! `tests/pipeline_timing.rs`; this bench measures raw simulator speed
-//! (host instructions per simulated microcycle) on the pipelined machine.
+//! (host time per simulated microcycle) on the pipelined machine.
 
-use criterion::{criterion_group, criterion_main, Criterion};
 use dorado_bench as h;
+use dorado_bench::harness::bench;
 
-fn bench(c: &mut Criterion) {
-    let mut g = c.benchmark_group("e08");
-    g.sample_size(10);
-    g.bench_function("simulate_100k_cycles", |b| {
-        b.iter_batched(
-            h::mesa_machine_for_throughput,
-            |mut m| {
-                let _ = m.run(100_000);
-                std::hint::black_box(m.stats().cycles)
-            },
-            criterion::BatchSize::LargeInput,
-        )
+fn main() {
+    bench("e08/simulate_100k_cycles", || {
+        let mut m = h::mesa_machine_for_throughput();
+        let _ = m.run(100_000);
+        m.stats().cycles
     });
-    g.finish();
 }
-
-criterion_group!(benches, bench);
-criterion_main!(benches);

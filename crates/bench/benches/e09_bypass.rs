@@ -1,22 +1,14 @@
 //! E9 (§5.6): the Model-0 bypassing ablation — the same logical microcode
 //! without bypass hardware needs padding and runs measurably slower.
 
-use criterion::{criterion_group, criterion_main, Criterion};
 use dorado_bench as h;
+use dorado_bench::harness::bench;
 
-fn bench(c: &mut Criterion) {
+fn main() {
     let (with, without) = h::bypass_cycles();
     println!(
         "E9 | with bypass {with} cycles; Model 0 {without} cycles ({:.2}x)",
         without as f64 / with as f64
     );
-    let mut g = c.benchmark_group("e09");
-    g.sample_size(10);
-    g.bench_function("both_machines", |b| {
-        b.iter(|| std::hint::black_box(h::bypass_cycles()))
-    });
-    g.finish();
+    bench("e09/both_machines", h::bypass_cycles);
 }
-
-criterion_group!(benches, bench);
-criterion_main!(benches);

@@ -1,10 +1,10 @@
 //! E10 (§5.5): the paged NEXTPC scheme costs 8 bits of microword instead
 //! of ~16, and conditional branches execute with no delay slot.
 
-use criterion::{criterion_group, criterion_main, Criterion};
 use dorado_asm::synth::{random_program, SynthProfile};
+use dorado_bench::harness::bench;
 
-fn bench(c: &mut Criterion) {
+fn main() {
     // Static accounting: sequencing bits per word.
     println!("E10 | NextControl: 8 bits/word (horizontal equivalent: ≈15-16)");
     let p = random_program(3, 2000, &SynthProfile::default());
@@ -13,23 +13,15 @@ fn bench(c: &mut Criterion) {
         "E10 | savings on a 2000-word program: {} bits",
         placed.words_used() * 8
     );
-    let mut g = c.benchmark_group("e10");
-    g.sample_size(10);
-    g.bench_function("place_2000_branchy", |b| {
-        b.iter(|| {
-            let p = random_program(
-                3,
-                2000,
-                &SynthProfile {
-                    branch_pct: 60,
-                    ..SynthProfile::default()
-                },
-            );
-            std::hint::black_box(p.place().expect("place").words_used())
-        })
+    bench("e10/place_2000_branchy", || {
+        let p = random_program(
+            3,
+            2000,
+            &SynthProfile {
+                branch_pct: 60,
+                ..SynthProfile::default()
+            },
+        );
+        p.place().expect("place").words_used()
     });
-    g.finish();
 }
-
-criterion_group!(benches, bench);
-criterion_main!(benches);

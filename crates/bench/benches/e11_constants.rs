@@ -1,10 +1,10 @@
 //! E11 (§5.9): byte-form constants — most 16-bit constants in one
 //! microinstruction, any in two.
 
-use criterion::{criterion_group, criterion_main, Criterion};
 use dorado_asm::synthesis_cost;
+use dorado_bench::harness::bench;
 
-fn bench(c: &mut Criterion) {
+fn main() {
     let corpus: Vec<u16> = (0..256u16)
         .chain((1..=256u16).map(|v| 0u16.wrapping_sub(v)))
         .chain((0..16).map(|b| 1u16 << b))
@@ -18,12 +18,7 @@ fn bench(c: &mut Criterion) {
     );
     let all_two = (0..=u16::MAX).all(|v| synthesis_cost(v) <= 2);
     println!("E11 | every 16-bit constant fits in two instructions: {all_two}");
-    let mut g = c.benchmark_group("e11");
-    g.bench_function("classify_64k", |b| {
-        b.iter(|| (0..=u16::MAX).map(synthesis_cost).sum::<usize>())
+    bench("e11/classify_64k", || {
+        (0..=u16::MAX).map(synthesis_cost).sum::<usize>()
     });
-    g.finish();
 }
-
-criterion_group!(benches, bench);
-criterion_main!(benches);

@@ -1,22 +1,14 @@
 //! E12 (§2): multiwire boards slowed the machine about 15% relative to the
 //! stitchwelded prototypes — a pure cycle-time scale factor.
 
-use criterion::{criterion_group, criterion_main, Criterion};
 use dorado_bench as h;
+use dorado_bench::harness::bench;
 
-fn bench(c: &mut Criterion) {
+fn main() {
     let (stitch, multi) = h::wiring_times_ms();
     println!(
         "E12 | stitchweld {stitch:.3} ms vs multiwire {multi:.3} ms: {:.0}% slowdown (paper ≈15%)",
         (multi - stitch) / multi * 100.0
     );
-    let mut g = c.benchmark_group("e12");
-    g.sample_size(10);
-    g.bench_function("workload", |b| {
-        b.iter(|| std::hint::black_box(h::wiring_times_ms()))
-    });
-    g.finish();
+    bench("e12/workload", h::wiring_times_ms);
 }
-
-criterion_group!(benches, bench);
-criterion_main!(benches);

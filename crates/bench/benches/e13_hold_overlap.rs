@@ -1,10 +1,10 @@
 //! E13 (§5.7): Hold converts memory-wait cycles into useful work for
 //! higher-priority tasks.
 
-use criterion::{criterion_group, criterion_main, Criterion};
 use dorado_bench as h;
+use dorado_bench::harness::bench;
 
-fn bench(c: &mut Criterion) {
+fn main() {
     let (alone, shared, disp) = h::hold_overlap();
     println!(
         "E13 | emulator alone {alone} instrs; with display {shared} (+{disp} display instrs)"
@@ -13,11 +13,5 @@ fn bench(c: &mut Criterion) {
         "E13 | display work recovered from held cycles at only {:.1}% emulator cost",
         (1.0 - shared as f64 / alone as f64) * 100.0
     );
-    let mut g = c.benchmark_group("e13");
-    g.sample_size(10);
-    g.bench_function("overlap", |b| b.iter(|| std::hint::black_box(h::hold_overlap())));
-    g.finish();
+    bench("e13/overlap", h::hold_overlap);
 }
-
-criterion_group!(benches, bench);
-criterion_main!(benches);

@@ -2,10 +2,14 @@
 //!
 //! Every quantitative claim in §7 (and the ablations of §2, §5.6, §5.7,
 //! §6.2.1) has a function here that sets up the workload, runs the
-//! simulator, and returns the number in the paper's units.  The Criterion
-//! benches under `benches/` and the `report` binary both call these.
+//! simulator, and returns the number in the paper's units — via the
+//! [`dorado_base::Report`] API wherever the number is a ratio of counters.
+//! The plain-`main` benches under `benches/` (timed by [`harness`]) and
+//! the `report` binary both call these.
 
 #![forbid(unsafe_code)]
+
+pub mod harness;
 
 use dorado_asm::synth::{random_program, SynthProfile};
 use dorado_base::{BaseRegId, ClockConfig, Cycles, TaskId, VirtAddr, Word};
@@ -156,7 +160,7 @@ pub fn bitblt_mbps(kind: BlitKind, shift: u8) -> f64 {
     let out = m.run(10_000_000);
     assert!(out.halted(), "{out:?}");
     let bits = u64::from(p.width) * u64::from(p.height) * 16;
-    clock().mbits_per_sec(bits, Cycles(m.stats().cycles))
+    m.report().workload_mbps(bits)
 }
 
 // --- E3/E7: slow-I/O processor share -------------------------------------------
@@ -183,7 +187,7 @@ pub fn slow_io_share(mbps: f64) -> f64 {
     mesa::init_runtime(&mut m);
     mesa::load_program(&mut m, &spinning_mesa());
     let _ = m.run(40_000);
-    m.stats().processor_share(TASK_SYNTH)
+    m.report().utilization(TASK_SYNTH)
 }
 
 // --- E4/E5: fast-I/O share at full storage bandwidth ---------------------------
@@ -216,7 +220,7 @@ pub fn fastio_share(mode: TaskingMode) -> f64 {
     m.memory_mut()
         .set_base_reg(BaseRegId::new(BR_DISPLAY), 0x2000);
     let _ = m.run(50_000);
-    m.stats().processor_share(TASK_DISPLAY)
+    m.report().utilization(TASK_DISPLAY)
 }
 
 /// The fast-I/O bandwidth actually delivered to the display (Mbit/s).
@@ -242,8 +246,7 @@ pub fn fastio_mbps() -> f64 {
     m.memory_mut()
         .set_base_reg(BaseRegId::new(BR_DISPLAY), 0x2000);
     let _ = m.run(50_000);
-    let s = m.stats();
-    clock().mbits_per_sec(s.fast_io_munches * 16 * 16, Cycles(s.cycles))
+    m.report().fast_io_mbps()
 }
 
 // --- E6: placement utilization ---------------------------------------------------

@@ -7,7 +7,7 @@
 //! microcode around the program counter.
 
 use dorado_asm::disasm::disassemble;
-use dorado_base::{MicroAddr, TaskId, NUM_TASKS};
+use dorado_base::{HoldCause, MicroAddr, TaskId, NUM_TASKS};
 
 use crate::machine::Dorado;
 
@@ -121,6 +121,56 @@ impl<'m> Console<'m> {
         }
         out
     }
+
+    /// Holds broken down by cause, per task and machine-wide (§5.7).
+    pub fn hold_breakdown(&self) -> String {
+        let s = self.m.stats();
+        let mut out = String::from("task");
+        for cause in HoldCause::ALL {
+            out.push_str(&format!("  {:>12}", cause.name()));
+        }
+        out.push('\n');
+        for t in 0..NUM_TASKS {
+            if s.held[t] == 0 {
+                continue;
+            }
+            out.push_str(&format!("{t:<4}"));
+            for cause in HoldCause::ALL {
+                out.push_str(&format!("  {:>12}", s.held_by[t][cause.index()]));
+            }
+            out.push('\n');
+        }
+        out.push_str("all ");
+        for cause in HoldCause::ALL {
+            out.push_str(&format!("  {:>12}", s.holds_for(cause)));
+        }
+        out.push('\n');
+        out
+    }
+
+    /// The last `n` trace events, human-readable — or a note that tracing
+    /// is off.
+    pub fn trace_tail(&self, n: usize) -> String {
+        match self.m.tracer() {
+            None => String::from("trace: off (Dorado::trace_enable to record)\n"),
+            Some(tracer) => {
+                let mut out = String::new();
+                let skip = tracer.len().saturating_sub(n);
+                for e in tracer.events().skip(skip) {
+                    out.push_str(&format!("{e}\n"));
+                }
+                if out.is_empty() {
+                    out.push_str("trace: on, no events yet\n");
+                }
+                out
+            }
+        }
+    }
+
+    /// The §7 measurement tables for this machine's full run.
+    pub fn report(&self) -> String {
+        format!("{}", self.m.report())
+    }
 }
 
 #[cfg(test)]
@@ -176,5 +226,39 @@ mod tests {
         let c = Console::new(&m);
         let acc = c.accounting();
         assert!(acc.contains("0"), "{acc}");
+    }
+
+    #[test]
+    fn hold_breakdown_lists_every_cause() {
+        let mut m = machine();
+        let _ = m.run(5);
+        let c = Console::new(&m);
+        let hb = c.hold_breakdown();
+        assert!(hb.contains("mem-data"), "{hb}");
+        assert!(hb.contains("ifu-dispatch"), "{hb}");
+        assert!(hb.starts_with("task"), "{hb}");
+    }
+
+    #[test]
+    fn trace_tail_reports_off_then_events() {
+        let mut m = machine();
+        let c = Console::new(&m);
+        assert!(c.trace_tail(4).contains("off"));
+        m.trace_enable(16);
+        let _ = m.run(3);
+        let c = Console::new(&m);
+        let tail = c.trace_tail(2);
+        assert!(tail.contains("task0"), "{tail}");
+        assert!(tail.lines().count() <= 2, "{tail}");
+    }
+
+    #[test]
+    fn report_renders_the_tables() {
+        let mut m = machine();
+        let _ = m.run(5);
+        let c = Console::new(&m);
+        let r = c.report();
+        assert!(r.contains("task utilization"), "{r}");
+        assert!(r.contains("Mbit/s"), "{r}");
     }
 }

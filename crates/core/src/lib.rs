@@ -56,4 +56,4 @@ pub use control::{ControlSection, TaskingMode};
 pub use datapath::{CondFlags, DataSection};
 pub use decoded::DecodedInst;
 pub use machine::{BuildError, Dorado, DoradoBuilder, HoldCause, RunOutcome, StepEvent};
-pub use trace::TraceEvent;
+pub use trace::{CacheOutcome, TraceEvent, Tracer};

@@ -22,8 +22,9 @@ use dorado_asm::{
     Microword, PlacedProgram, ShiftCtl,
 };
 use dorado_base::{
-    ClockConfig, MicroAddr, Stats, TaskId, Word, MICROSTORE_SIZE, NUM_TASKS, PAGE_SIZE,
+    ClockConfig, MicroAddr, Report, Stats, TaskId, Word, MICROSTORE_SIZE, NUM_TASKS, PAGE_SIZE,
 };
+pub use dorado_base::HoldCause;
 use dorado_ifu::Ifu;
 use dorado_io::{Device, IoSystem};
 use dorado_mem::{MemConfig, MemorySystem};
@@ -31,24 +32,7 @@ use dorado_mem::{MemConfig, MemorySystem};
 use crate::control::{ControlSection, TaskingMode};
 use crate::datapath::{CondFlags, DataSection};
 use crate::decoded::DecodedInst;
-use crate::trace::TraceEvent;
-
-/// Why an instruction was held (§5.7).
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
-pub enum HoldCause {
-    /// A new reference was started while the task's previous fetch was in
-    /// flight.
-    MemPipe,
-    /// A storage cycle was needed (miss or fast I/O) while the RAMs were
-    /// mid-cycle.
-    MemStorage,
-    /// MEMDATA was used before delivery.
-    MemData,
-    /// IFUDATA was used with no operand available.
-    IfuOperand,
-    /// IFUJump before the IFU finished decoding the next opcode.
-    IfuDispatch,
-}
+use crate::trace::{CacheOutcome, TraceEvent, Tracer};
 
 /// What one [`Dorado::step`] did.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -277,8 +261,7 @@ impl DoradoBuilder {
             stats: Stats::new(),
             slow_io_words: 0,
             halted: false,
-            trace: None,
-            trace_cap: 0,
+            tracer: None,
             consecutive_holds: 0,
             wedge_limit: self.wedge_limit.unwrap_or(100_000),
             breakpoints: std::collections::HashSet::new(),
@@ -318,8 +301,7 @@ pub struct Dorado {
     stats: Stats,
     slow_io_words: u64,
     halted: bool,
-    trace: Option<Vec<TraceEvent>>,
-    trace_cap: usize,
+    tracer: Option<Tracer>,
     consecutive_holds: u64,
     wedge_limit: u64,
     breakpoints: std::collections::HashSet<MicroAddr>,
@@ -354,17 +336,28 @@ impl Dorado {
         let stage1 = self.control.stage1;
         self.control.arbitrate(requests);
 
-        // Phase 2: hold check, then execution.
+        // Phase 2: hold check, then execution.  The cache-counter probe
+        // exists only while tracing, so the tracing-off path stays free.
+        // (Only the processor and fast-I/O ports: the IFU port belongs to
+        // the prefetcher, which runs in phase 4.)
+        let probe = self.tracer.as_ref().map(|_| {
+            let c = &self.mem.counters().cache;
+            (
+                c.processor.refs + c.fast_io.refs,
+                c.processor.hits + c.fast_io.hits,
+            )
+        });
         let held = self.check_hold(&inst, task);
         let this_task_next_pc;
         let mut block_effective = false;
         let mut halted_now = false;
-        if held.is_some() {
+        if let Some(cause) = held {
             // "No operation, jump to self" — clocks keep running (§5.7),
             // so the previous instruction's writeback still lands.
             self.drain_wb();
             this_task_next_pc = at;
             self.stats.held[task.index()] += 1;
+            self.stats.held_by[task.index()][cause.index()] += 1;
             self.consecutive_holds += 1;
         } else {
             let (next_pc, halt) = self.execute(&inst, task, at);
@@ -432,16 +425,32 @@ impl Dorado {
             next_task: next,
             halted: halted_now,
         };
-        if let Some(buf) = &mut self.trace {
-            if buf.len() < self.trace_cap {
-                buf.push(TraceEvent {
-                    cycle,
-                    task,
-                    addr: at,
-                    held,
-                    next_task: next,
-                });
-            }
+        if let Some(tracer) = &mut self.tracer {
+            let (refs_before, hits_before) = probe.expect("probe taken while tracing");
+            let c = &self.mem.counters().cache;
+            let (refs_after, hits_after) = (
+                c.processor.refs + c.fast_io.refs,
+                c.processor.hits + c.fast_io.hits,
+            );
+            let cache = if refs_after == refs_before {
+                CacheOutcome::None
+            } else if hits_after > hits_before {
+                CacheOutcome::Hit
+            } else {
+                CacheOutcome::Miss
+            };
+            let bypass = held.is_none()
+                && self.bypass
+                && (inst.load.loads_t() || inst.load.loads_rm());
+            tracer.record(TraceEvent {
+                cycle,
+                task,
+                addr: at,
+                held,
+                next_task: next,
+                cache,
+                bypass,
+            });
         }
         event
     }
@@ -844,13 +853,22 @@ impl Dorado {
     pub fn stats(&self) -> Stats {
         let mut s = self.stats.clone();
         let mc = self.mem.counters();
-        s.cache_refs = mc.cache_refs;
-        s.cache_hits = mc.cache_hits;
-        s.storage_refs = mc.storage_refs;
-        s.fast_io_munches = mc.fast_munches;
+        s.cache_refs = mc.cache_refs();
+        s.cache_hits = mc.cache_hits();
+        s.storage_refs = mc.storage_refs();
+        s.fast_io_munches = mc.fast_munches();
         s.slow_io_words = self.slow_io_words;
-        s.ifu_fetches = mc.ifu_refs;
+        s.ifu_fetches = mc.ifu_refs();
+        s.cache = mc.cache;
+        s.storage = mc.storage;
+        s.ifu = *self.ifu.counters();
         s
+    }
+
+    /// A [`Report`] over the counters accumulated since reset, rendered
+    /// with this machine's clock — the §7 tables as a queryable value.
+    pub fn report(&self) -> Report {
+        Report::new(self.stats(), self.clock)
     }
 
     /// The clock configuration.
@@ -996,16 +1014,27 @@ impl Dorado {
         Ok(())
     }
 
-    /// Enables tracing with the given capacity.
+    /// Enables tracing into a ring buffer keeping the last `capacity`
+    /// events.  Tracing is off by default and costs nothing while off.
     pub fn trace_enable(&mut self, capacity: usize) {
-        self.trace = Some(Vec::with_capacity(capacity.min(1 << 20)));
-        self.trace_cap = capacity;
+        self.tracer = Some(Tracer::new(capacity));
     }
 
-    /// Takes the accumulated trace (tracing stays enabled).
+    /// Disables tracing, returning the tracer (with its retained events)
+    /// if one was active.
+    pub fn trace_disable(&mut self) -> Option<Tracer> {
+        self.tracer.take()
+    }
+
+    /// The active tracer, if tracing is enabled.
+    pub fn tracer(&self) -> Option<&Tracer> {
+        self.tracer.as_ref()
+    }
+
+    /// Takes the accumulated trace, oldest first (tracing stays enabled).
     pub fn take_trace(&mut self) -> Vec<TraceEvent> {
-        match &mut self.trace {
-            Some(buf) => std::mem::take(buf),
+        match &mut self.tracer {
+            Some(tracer) => tracer.take(),
             None => Vec::new(),
         }
     }

@@ -146,16 +146,9 @@ impl Default for DecodeEntry {
     }
 }
 
-/// IFU statistics.
-#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
-pub struct IfuCounters {
-    /// Macroinstructions dispatched.
-    pub dispatches: u64,
-    /// Words fetched on the IFU port.
-    pub fetches: u64,
-    /// Macro jumps taken (buffer refills).
-    pub jumps: u64,
-}
+/// IFU statistics: the shared [`IfuActivity`] registry block
+/// (dispatches, branch outcomes, prefetch-buffer fullness).
+pub use dorado_base::IfuActivity as IfuCounters;
 
 /// The instruction fetch unit.
 #[derive(Debug, Clone)]
@@ -246,6 +239,13 @@ impl Ifu {
     /// Advances the prefetch engine one microcycle.  Call once per machine
     /// cycle, before the processor's instruction executes.
     pub fn tick(&mut self, mem: &mut MemorySystem) {
+        // Buffer-fullness accounting: mean occupancy and the fraction of
+        // ticks on which the prefetcher was saturated (no room for a word).
+        self.counters.ticks += 1;
+        self.counters.buffer_bytes_accum += self.buffer.len() as u64;
+        if self.buffer.len() + 2 > self.buffer_cap {
+            self.counters.buffer_full_cycles += 1;
+        }
         // Collect arrived data.
         if let Some(word) = mem.ifu_data() {
             if self.discard > 0 {
@@ -486,6 +486,26 @@ mod tests {
         ifu.jump(0);
         let e = run_to_dispatch(&mut mem, &mut ifu);
         assert_eq!(e, MicroAddr::new(0));
+    }
+
+    #[test]
+    fn buffer_fullness_is_accounted() {
+        let (mut mem, mut ifu) = setup(&[0x05, 0x05, 0x05, 0x05, 0x05, 0x05]);
+        ifu.set_decode_entry(0x05, DecodeEntry::new(MicroAddr::new(1)));
+        ifu.jump(0);
+        // Run without dispatching: the buffer fills to capacity and stays
+        // there, so the tail of the window must be all-full ticks.
+        for _ in 0..200 {
+            ifu.tick(&mut mem);
+            mem.tick();
+        }
+        let c = ifu.counters();
+        assert_eq!(c.ticks, 200);
+        assert!(c.buffer_full_cycles > 0, "buffer must saturate: {c:?}");
+        assert!(c.buffer_bytes_accum > 0);
+        assert!(c.mean_buffer_bytes() > 0.0);
+        assert!(c.buffer_full_fraction() > 0.5, "{}", c.buffer_full_fraction());
+        assert_eq!(c.jumps, 1);
     }
 
     #[test]

@@ -5,7 +5,9 @@ use crate::cache::Cache;
 use crate::config::MemConfig;
 use crate::map::Map;
 use crate::storage::Storage;
-use dorado_base::{BaseRegId, TaskId, VirtAddr, Word, MUNCH_WORDS, NUM_TASKS};
+use dorado_base::{
+    BaseRegId, CacheStats, StorageStats, TaskId, VirtAddr, Word, MUNCH_WORDS, NUM_TASKS,
+};
 
 /// Why the memory asserted `Hold` (§5.7).
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
@@ -41,18 +43,16 @@ impl std::error::Error for Hold {}
 
 /// Counters the memory system accumulates (merged into machine-wide
 /// [`Stats`](dorado_base::Stats) by the `Dorado` machine).
+///
+/// Cache traffic is split by requester port and storage traffic by kind;
+/// the flat totals of the old counter block are available as methods.
 #[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
 pub struct MemCounters {
-    /// Cache references started (fetches and stores).
-    pub cache_refs: u64,
-    /// Cache references that hit.
-    pub cache_hits: u64,
-    /// Storage references (misses, write-backs, fast I/O munches).
-    pub storage_refs: u64,
-    /// Dirty-victim write-backs.
-    pub writebacks: u64,
-    /// Fast I/O munches transferred.
-    pub fast_munches: u64,
+    /// Cache references and hits, split by requester (processor port,
+    /// IFU port, fast-I/O coherence probes).
+    pub cache: CacheStats,
+    /// Storage-pipeline references by kind, plus busy-cycle occupancy.
+    pub storage: StorageStats,
     /// Map faults observed.
     pub faults: u64,
     /// Holds issued, by reason.
@@ -61,8 +61,39 @@ pub struct MemCounters {
     pub holds_storage: u64,
     /// Holds for unready MEMDATA.
     pub holds_data: u64,
+}
+
+impl MemCounters {
+    /// Cache references started on the processor and IFU ports (the
+    /// references that allocate in the cache).
+    pub fn cache_refs(&self) -> u64 {
+        self.cache.processor.refs + self.cache.ifu.refs
+    }
+
+    /// Cache hits on the processor and IFU ports.
+    pub fn cache_hits(&self) -> u64 {
+        self.cache.processor.hits + self.cache.ifu.hits
+    }
+
+    /// Storage references of any kind (misses, write-backs, fast I/O).
+    pub fn storage_refs(&self) -> u64 {
+        self.storage.refs
+    }
+
+    /// Dirty-victim write-backs.
+    pub fn writebacks(&self) -> u64 {
+        self.storage.writebacks
+    }
+
+    /// Fast I/O munches transferred, either direction.
+    pub fn fast_munches(&self) -> u64 {
+        self.storage.fast_fetches + self.storage.fast_stores
+    }
+
     /// Cache references made on the IFU's port.
-    pub ifu_refs: u64,
+    pub fn ifu_refs(&self) -> u64 {
+        self.cache.ifu.refs
+    }
 }
 
 #[derive(Debug, Clone, Copy)]
@@ -154,8 +185,11 @@ impl MemorySystem {
         &self.cfg
     }
 
-    /// Advances one microcycle.
+    /// Advances one microcycle, accumulating storage-pipeline occupancy.
     pub fn tick(&mut self) {
+        if self.now < self.storage_free_at {
+            self.counters.storage.busy_cycles += 1;
+        }
         self.now += 1;
     }
 
@@ -221,9 +255,9 @@ impl MemorySystem {
                 }
             }
         }
-        self.counters.cache_refs += 1;
+        self.counters.cache.processor.refs += 1;
         if let Some(word) = self.cache.read(vaddr) {
-            self.counters.cache_hits += 1;
+            self.counters.cache.processor.hits += 1;
             self.pending[task.index()].push(PendingFetch {
                 ready_at: self.now + self.cfg.hit_latency,
                 data: word,
@@ -232,7 +266,7 @@ impl MemorySystem {
         }
         // Miss: needs a storage cycle now.
         self.reserve_storage().inspect_err(|_h| {
-            self.counters.cache_refs -= 1; // the reference will be retried
+            self.counters.cache.processor.refs -= 1; // the reference retries
         })?;
         let word = match self.fill_from_storage(vaddr) {
             Some(_) => self.cache.read(vaddr).expect("just filled"),
@@ -258,13 +292,13 @@ impl MemorySystem {
         value: Word,
     ) -> Result<(), Hold> {
         let _ = task;
-        self.counters.cache_refs += 1;
+        self.counters.cache.processor.refs += 1;
         if self.cache.write(vaddr, value) {
-            self.counters.cache_hits += 1;
+            self.counters.cache.processor.hits += 1;
             return Ok(());
         }
         self.reserve_storage().inspect_err(|_h| {
-            self.counters.cache_refs -= 1;
+            self.counters.cache.processor.refs -= 1;
         })?;
         if self.fill_from_storage(vaddr).is_some() {
             let ok = self.cache.write(vaddr, value);
@@ -351,10 +385,9 @@ impl MemorySystem {
         if matches!(self.ifu_pending, Some(p) if self.now < p.ready_at) {
             return Err(Hold(HoldReason::PipeBusy));
         }
-        self.counters.ifu_refs += 1;
-        self.counters.cache_refs += 1;
+        self.counters.cache.ifu.refs += 1;
         if let Some(word) = self.cache.read(vaddr) {
-            self.counters.cache_hits += 1;
+            self.counters.cache.ifu.hits += 1;
             self.ifu_pending = Some(PendingFetch {
                 ready_at: self.now + self.cfg.hit_latency,
                 data: word,
@@ -362,8 +395,7 @@ impl MemorySystem {
             return Ok(());
         }
         self.reserve_storage().inspect_err(|_h| {
-            self.counters.cache_refs -= 1;
-            self.counters.ifu_refs -= 1;
+            self.counters.cache.ifu.refs -= 1;
         })?;
         let word = match self.fill_from_storage(vaddr) {
             Some(_) => self.cache.read(vaddr).expect("just filled"),
@@ -407,9 +439,11 @@ impl MemorySystem {
     /// Holds while storage is mid-cycle.
     pub fn fast_fetch(&mut self, vaddr: VirtAddr) -> Result<[Word; MUNCH_WORDS], Hold> {
         self.reserve_storage()?;
-        self.counters.fast_munches += 1;
+        self.counters.storage.fast_fetches += 1;
+        self.counters.cache.fast_io.refs += 1;
         // Coherence: a dirty cached copy is newer than storage.
         if let Some(data) = self.cache.peek_dirty_munch(vaddr) {
+            self.counters.cache.fast_io.hits += 1;
             return Ok(data);
         }
         match self.translate(vaddr.munch_base()) {
@@ -430,8 +464,12 @@ impl MemorySystem {
         munch: &[Word; MUNCH_WORDS],
     ) -> Result<(), Hold> {
         self.reserve_storage()?;
-        self.counters.fast_munches += 1;
-        self.cache.invalidate(vaddr);
+        self.counters.storage.fast_stores += 1;
+        self.counters.cache.fast_io.refs += 1;
+        if self.cache.invalidate(vaddr) {
+            // The munch was cache-resident: the coherence probe "hit".
+            self.counters.cache.fast_io.hits += 1;
+        }
         if let Some(raddr) = self.translate(vaddr.munch_base()) {
             self.storage.write_munch(raddr, munch);
         }
@@ -481,7 +519,7 @@ impl MemorySystem {
             return Err(Hold(HoldReason::StorageBusy));
         }
         self.storage_free_at = self.now + self.cfg.storage_cycle;
-        self.counters.storage_refs += 1;
+        self.counters.storage.refs += 1;
         Ok(())
     }
 
@@ -490,9 +528,10 @@ impl MemorySystem {
     fn fill_from_storage(&mut self, vaddr: VirtAddr) -> Option<()> {
         let raddr = self.translate(vaddr.munch_base())?;
         let munch = self.storage.read_munch(raddr);
+        self.counters.storage.fills += 1;
         if let Some(ev) = self.cache.fill(vaddr, munch) {
-            self.counters.writebacks += 1;
-            self.counters.storage_refs += 1;
+            self.counters.storage.writebacks += 1;
+            self.counters.storage.refs += 1;
             self.storage_free_at += self.cfg.storage_cycle;
             if let Some(ev_raddr) = self.translate(ev.vaddr) {
                 self.storage.write_munch(ev_raddr, &ev.data);
@@ -555,9 +594,11 @@ mod tests {
         let (w, waited) = run_until_data(&mut m, T0);
         assert_eq!(w, 0x2222);
         assert_eq!(waited, MemConfig::default().miss_penalty);
-        assert_eq!(m.counters().cache_hits, 0);
-        assert_eq!(m.counters().cache_refs, 1);
-        assert_eq!(m.counters().storage_refs, 1);
+        assert_eq!(m.counters().cache_hits(), 0);
+        assert_eq!(m.counters().cache_refs(), 1);
+        assert_eq!(m.counters().cache.processor.refs, 1);
+        assert_eq!(m.counters().storage_refs(), 1);
+        assert_eq!(m.counters().storage.fills, 1);
     }
 
     #[test]
@@ -650,9 +691,9 @@ mod tests {
         let mut m = mem();
         m.start_fetch(T0, VirtAddr::new(0)).unwrap();
         let _ = run_until_data(&mut m, T0);
-        let refs_before = m.counters().storage_refs;
+        let refs_before = m.counters().storage_refs();
         m.start_store(T0, VirtAddr::new(0), 0xaaaa).unwrap();
-        assert_eq!(m.counters().storage_refs, refs_before, "write-back defers");
+        assert_eq!(m.counters().storage_refs(), refs_before, "write-back defers");
         assert_eq!(m.read_virt(VirtAddr::new(0)), 0xaaaa);
     }
 
@@ -673,7 +714,8 @@ mod tests {
         m.start_fetch(T0, VirtAddr::new(32)).unwrap();
         let _ = run_until_data(&mut m, T0);
         assert!(!m.would_hit(VirtAddr::new(0)), "block 0 must be evicted");
-        assert_eq!(m.counters().writebacks, 1);
+        assert_eq!(m.counters().writebacks(), 1);
+        assert_eq!(m.counters().storage.writebacks, 1);
         // The dirty datum survives in storage.
         assert_eq!(m.read_virt(VirtAddr::new(0)), 7);
     }
@@ -687,7 +729,10 @@ mod tests {
         }
         let munch = m.fast_fetch(VirtAddr::new(0x20)).unwrap();
         assert_eq!(munch[0], 0x5555);
-        assert_eq!(m.counters().fast_munches, 1);
+        assert_eq!(m.counters().fast_munches(), 1);
+        // The coherence probe found the dirty munch: a fast-I/O cache hit.
+        assert_eq!(m.counters().cache.fast_io.refs, 1);
+        assert_eq!(m.counters().cache.fast_io.hits, 1);
     }
 
     #[test]
@@ -745,5 +790,63 @@ mod tests {
     #[test]
     fn hold_display() {
         assert!(format!("{}", Hold(HoldReason::StorageBusy)).contains("storage"));
+    }
+
+    #[test]
+    fn storage_busy_cycles_cover_the_ram_cycle() {
+        let mut m = mem();
+        m.start_fetch(T0, VirtAddr::new(0x1000)).unwrap(); // miss
+        for _ in 0..2 * MemConfig::default().storage_cycle {
+            m.tick();
+        }
+        // Exactly one RAM cycle's worth of busy time was accumulated.
+        assert_eq!(
+            m.counters().storage.busy_cycles,
+            MemConfig::default().storage_cycle
+        );
+        assert_eq!(m.counters().storage.refs, 1);
+    }
+
+    #[test]
+    fn cache_ports_are_split_by_requester() {
+        let mut m = mem();
+        // One processor miss, one IFU miss on another munch.
+        m.start_fetch(T0, VirtAddr::new(0)).unwrap();
+        let _ = run_until_data(&mut m, T0);
+        m.ifu_start_fetch(VirtAddr::new(0x2000)).unwrap();
+        while m.ifu_data().is_none() {
+            m.tick();
+        }
+        // A processor hit on the warmed munch, an IFU hit on its own.
+        m.start_fetch(T0, VirtAddr::new(1)).unwrap();
+        let _ = run_until_data(&mut m, T0);
+        m.ifu_start_fetch(VirtAddr::new(0x2001)).unwrap();
+        while m.ifu_data().is_none() {
+            m.tick();
+        }
+        let c = m.counters().cache;
+        assert_eq!((c.processor.refs, c.processor.hits), (2, 1));
+        assert_eq!((c.ifu.refs, c.ifu.hits), (2, 1));
+        assert_eq!(c.fast_io.refs, 0);
+        assert_eq!(m.counters().cache_refs(), 4);
+        assert_eq!(m.counters().ifu_refs(), 2);
+    }
+
+    #[test]
+    fn fast_store_probe_counts_resident_munch_as_hit() {
+        let mut m = mem();
+        m.start_fetch(T0, VirtAddr::new(0x40)).unwrap(); // make resident
+        let _ = run_until_data(&mut m, T0);
+        for _ in 0..10 {
+            m.tick();
+        }
+        m.fast_store(VirtAddr::new(0x40), &[1; MUNCH_WORDS]).unwrap();
+        for _ in 0..MemConfig::default().storage_cycle {
+            m.tick();
+        }
+        m.fast_store(VirtAddr::new(0x800), &[2; MUNCH_WORDS]).unwrap();
+        let c = m.counters().cache;
+        assert_eq!((c.fast_io.refs, c.fast_io.hits), (2, 1));
+        assert_eq!(m.counters().storage.fast_stores, 2);
     }
 }

@@ -33,8 +33,8 @@ fn miss_stream_throughput_is_storage_limited() {
     }
     let elapsed = m.now() - start;
     assert!(elapsed >= 32 * 8, "storage cycle floor: {elapsed}");
-    assert_eq!(m.counters().cache_hits, 0);
-    assert_eq!(m.counters().storage_refs, 32);
+    assert_eq!(m.counters().cache_hits(), 0);
+    assert_eq!(m.counters().storage_refs(), 32);
 }
 
 #[test]
@@ -80,8 +80,8 @@ fn writeback_pressure_doubles_storage_traffic() {
             m.tick();
         }
     }
-    let refs_before = m.counters().storage_refs;
-    let wb_before = m.counters().writebacks;
+    let refs_before = m.counters().storage_refs();
+    let wb_before = m.counters().writebacks();
     // Miss through fresh addresses.
     for k in 10..14u32 {
         loop {
@@ -92,8 +92,8 @@ fn writeback_pressure_doubles_storage_traffic() {
         }
         let _ = drain(&mut m, T0);
     }
-    assert_eq!(m.counters().writebacks - wb_before, 4);
-    assert_eq!(m.counters().storage_refs - refs_before, 8, "fill + WB each");
+    assert_eq!(m.counters().writebacks() - wb_before, 4);
+    assert_eq!(m.counters().storage_refs() - refs_before, 8, "fill + WB each");
     // The dirty data survived.
     for k in 0..4u32 {
         assert_eq!(m.read_virt(VirtAddr::new(k * 16)), 0xaaaa);
@@ -173,5 +173,5 @@ fn fast_io_and_processor_interleave_fairly() {
         let _ = drain(&mut m, T0);
     }
     assert_eq!((fast, fetches), (16, 16));
-    assert_eq!(m.counters().storage_refs, 32);
+    assert_eq!(m.counters().storage_refs(), 32);
 }

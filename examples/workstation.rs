@@ -5,15 +5,30 @@
 //!
 //! ```sh
 //! cargo run --example workstation
+//! cargo run --example workstation -- --trace trace.jsonl   # last 64Ki cycles as JSONL
 //! ```
 
-use dorado::base::{BaseRegId, ClockConfig, Cycles, TaskId, VirtAddr, Word};
+use dorado::base::{BaseRegId, TaskId, VirtAddr, Word};
 use dorado::emu::layout::*;
 use dorado::emu::mesa::{self, MesaAsm};
 use dorado::emu::SuiteBuilder;
 use dorado::io::{DiskController, DisplayController, NetworkController};
 
 fn main() -> Result<(), Box<dyn std::error::Error>> {
+    // `--trace FILE` records the last 64Ki cycles and exports them as
+    // JSONL (one event per line) for offline tooling.
+    let mut args = std::env::args().skip(1);
+    let mut trace_path: Option<String> = None;
+    while let Some(arg) = args.next() {
+        match arg.as_str() {
+            "--trace" => {
+                trace_path =
+                    Some(args.next().ok_or("--trace needs a file argument")?);
+            }
+            other => return Err(format!("unknown argument `{other}`").into()),
+        }
+    }
+
     // The foreground program: naive recursive fib(15).
     let mut p = MesaAsm::new();
     p.lib(15);
@@ -96,17 +111,17 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
             .write_virt(VirtAddr::new(0x2000 + i), (i as Word).wrapping_mul(3));
     }
 
+    if trace_path.is_some() {
+        m.trace_enable(1 << 16);
+    }
+
     let outcome = m.run(2_000_000);
     println!("\nfib(15) = {} (expected 610); outcome {outcome:?}", mesa::tos(&m));
 
-    let s = m.stats();
-    let clock = ClockConfig::multiwire();
-    println!(
-        "\nran {} cycles = {:.2} ms of simulated time",
-        s.cycles,
-        clock.to_seconds(Cycles(s.cycles)) * 1e3
-    );
-    println!("\nprocessor shares (the §4 sharing story):");
+    // The §7 tables, straight from the metrics registry.
+    println!("\n{}", m.report());
+    println!("\nprocessor shares by task (the §4 sharing story):");
+    let r = m.report();
     for (name, task) in [
         ("emulator (Mesa)", TaskId::EMULATOR),
         ("disk", TASK_DISK),
@@ -115,22 +130,20 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     ] {
         println!(
             "  {name:<16} {:>6.2}%  ({} instructions)",
-            s.processor_share(task) * 100.0,
-            s.executed[task.index()]
+            r.utilization(task) * 100.0,
+            r.executed(task)
         );
     }
-    println!(
-        "  held (memory/IFU waits): {:.2}%",
-        s.held_cycles() as f64 / s.cycles as f64 * 100.0
-    );
-    println!(
-        "\ncache: {:.1}% hits over {} refs; {} storage cycles; {} fast munches",
-        s.cache_hit_rate() * 100.0,
-        s.cache_refs,
-        s.storage_refs,
-        s.fast_io_munches
-    );
-    println!("macroinstructions executed: {}", s.macro_instructions);
+
+    if let (Some(path), Some(tracer)) = (&trace_path, m.tracer()) {
+        let mut f = std::io::BufWriter::new(std::fs::File::create(path)?);
+        tracer.write_jsonl(&mut f)?;
+        println!(
+            "\nwrote {} trace event(s) to {path} ({} older dropped)",
+            tracer.len(),
+            tracer.dropped()
+        );
+    }
 
     // The disk transfer landed in memory:
     let good = (0..2048u32)
