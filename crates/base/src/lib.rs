@@ -33,8 +33,10 @@ pub mod task;
 
 pub use clock::{ClockConfig, Cycles};
 pub use hold::HoldCause;
-pub use metrics::{CacheStats, IfuActivity, PortCounters, Requester, StorageStats};
-pub use report::Report;
+pub use metrics::{
+    CacheStats, FabricPortStats, FabricStats, IfuActivity, PortCounters, Requester, StorageStats,
+};
+pub use report::{ClusterReport, Report};
 pub use stats::Stats;
 pub use task::TaskId;
 

@@ -251,6 +251,85 @@ impl IfuActivity {
     }
 }
 
+/// Traffic counters for one fabric port (one machine's attachment point on
+/// the cluster Ethernet model).
+///
+/// `tx_*` counts what the machine put on the wire, `rx_*` what the fabric
+/// delivered to it, and `drops` the packets the fabric discarded at this
+/// port — misaddressed packets are charged to the *source* port, output-
+/// queue overflows to the *destination* port.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct FabricPortStats {
+    /// Packets transmitted into the fabric.
+    pub tx_packets: u64,
+    /// Words transmitted into the fabric.
+    pub tx_words: u64,
+    /// Packets delivered out of the fabric.
+    pub rx_packets: u64,
+    /// Words delivered out of the fabric.
+    pub rx_words: u64,
+    /// Packets dropped at this port (unroutable on tx, queue overflow on rx).
+    pub drops: u64,
+}
+
+impl FabricPortStats {
+    /// Counter-wise difference (`self` later than `earlier`).
+    pub fn since(&self, earlier: &FabricPortStats) -> FabricPortStats {
+        FabricPortStats {
+            tx_packets: self.tx_packets - earlier.tx_packets,
+            tx_words: self.tx_words - earlier.tx_words,
+            rx_packets: self.rx_packets - earlier.rx_packets,
+            rx_words: self.rx_words - earlier.rx_words,
+            drops: self.drops - earlier.drops,
+        }
+    }
+}
+
+/// Per-port traffic counters for a cluster fabric, plus the line rate the
+/// fabric serialized packets at (cycles per 16-bit word).
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct FabricStats {
+    /// One counter block per port, in port order.
+    pub ports: Vec<FabricPortStats>,
+    /// Line-rate serialization time of one word, in microcycles.
+    pub word_cycles: u64,
+}
+
+impl FabricStats {
+    /// A zeroed counter block for `ports` ports.
+    pub fn new(ports: usize, word_cycles: u64) -> Self {
+        FabricStats {
+            ports: vec![FabricPortStats::default(); ports],
+            word_cycles,
+        }
+    }
+
+    /// Total packets transmitted into the fabric.
+    pub fn tx_packets(&self) -> u64 {
+        self.ports.iter().map(|p| p.tx_packets).sum()
+    }
+
+    /// Total words transmitted into the fabric.
+    pub fn tx_words(&self) -> u64 {
+        self.ports.iter().map(|p| p.tx_words).sum()
+    }
+
+    /// Total packets delivered by the fabric.
+    pub fn rx_packets(&self) -> u64 {
+        self.ports.iter().map(|p| p.rx_packets).sum()
+    }
+
+    /// Total words delivered by the fabric.
+    pub fn rx_words(&self) -> u64 {
+        self.ports.iter().map(|p| p.rx_words).sum()
+    }
+
+    /// Total packets dropped (all ports, both causes).
+    pub fn drops(&self) -> u64 {
+        self.ports.iter().map(|p| p.drops).sum()
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;

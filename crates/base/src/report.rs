@@ -22,7 +22,7 @@
 
 use crate::clock::{ClockConfig, Cycles};
 use crate::hold::HoldCause;
-use crate::metrics::Requester;
+use crate::metrics::{FabricStats, Requester};
 use crate::stats::Stats;
 use crate::task::TaskId;
 use crate::{MUNCH_WORDS, NUM_TASKS, Word};
@@ -173,6 +173,12 @@ impl Report {
         self.mbps(bits)
     }
 
+    /// Words dropped by slow-I/O device rx FIFOs because their service
+    /// task fell behind the line rate.
+    pub fn io_overruns(&self) -> u64 {
+        self.stats.io_overruns
+    }
+
     /// Slow-I/O words moved per macroinstruction dispatched; 0 with no
     /// dispatches.
     pub fn slow_io_words_per_instruction(&self) -> f64 {
@@ -291,6 +297,9 @@ impl std::fmt::Display for Report {
             self.fast_io_mbps(),
             self.storage_mbps()
         )?;
+        if s.io_overruns > 0 {
+            writeln!(f, "io rx overruns: {} word(s) dropped", s.io_overruns)?;
+        }
         write!(
             f,
             "ifu: {} dispatches, {:.1} micro/macro, taken-branch {:.1}%, buffer mean {:.1} B",
@@ -298,6 +307,148 @@ impl std::fmt::Display for Report {
             self.micro_per_macro(),
             100.0 * s.ifu.taken_branch_fraction(),
             s.ifu.mean_buffer_bytes()
+        )
+    }
+}
+
+/// The cluster section of the report: one counter snapshot per machine
+/// plus the fabric's per-port traffic, over a common simulated window.
+///
+/// Rendered, it extends the §7 tables with the multi-machine view the
+/// paper's §2 Ethernet setting implies: per-machine task utilization and
+/// the aggregate Mbit/s the fabric carried.
+#[derive(Debug, Clone, PartialEq)]
+pub struct ClusterReport {
+    clock: ClockConfig,
+    cycles: u64,
+    machines: Vec<(String, Stats)>,
+    fabric: FabricStats,
+}
+
+impl ClusterReport {
+    /// Builds a cluster report over `cycles` of common simulated time.
+    pub fn new(
+        clock: ClockConfig,
+        cycles: u64,
+        machines: Vec<(String, Stats)>,
+        fabric: FabricStats,
+    ) -> Self {
+        ClusterReport { clock, cycles, machines, fabric }
+    }
+
+    /// Labelled per-machine counter snapshots, in port order.
+    pub fn machines(&self) -> &[(String, Stats)] {
+        &self.machines
+    }
+
+    /// The fabric's per-port traffic counters.
+    pub fn fabric(&self) -> &FabricStats {
+        &self.fabric
+    }
+
+    /// Common simulated window length in microcycles.
+    pub fn cycles(&self) -> u64 {
+        self.cycles
+    }
+
+    /// Elapsed simulated time in seconds.
+    pub fn elapsed_seconds(&self) -> f64 {
+        self.clock.to_seconds(Cycles(self.cycles))
+    }
+
+    /// A per-machine [`Report`] for machine `index`.
+    pub fn machine_report(&self, index: usize) -> Report {
+        Report::new(self.machines[index].1.clone(), self.clock)
+    }
+
+    /// Aggregate bandwidth the fabric *delivered* (rx side), in Mbit/s of
+    /// simulated time.
+    pub fn fabric_rx_mbps(&self) -> f64 {
+        self.mbps(self.fabric.rx_words() * Word::BITS as u64)
+    }
+
+    /// Aggregate bandwidth offered to the fabric (tx side), in Mbit/s.
+    pub fn fabric_tx_mbps(&self) -> f64 {
+        self.mbps(self.fabric.tx_words() * Word::BITS as u64)
+    }
+
+    /// Mean fraction of line-rate wire time the ports spent serializing
+    /// transmitted words, in `[0, 1]`.
+    pub fn fabric_utilization(&self) -> f64 {
+        let ports = self.fabric.ports.len() as u64;
+        if ports == 0 || self.cycles == 0 {
+            return 0.0;
+        }
+        let busy = self.fabric.tx_words() * self.fabric.word_cycles;
+        busy as f64 / (ports * self.cycles) as f64
+    }
+
+    fn mbps(&self, bits: u64) -> f64 {
+        if self.cycles == 0 {
+            0.0
+        } else {
+            self.clock.mbits_per_sec(bits, Cycles(self.cycles))
+        }
+    }
+}
+
+impl std::fmt::Display for ClusterReport {
+    /// Renders the cluster tables: per-machine task utilization and the
+    /// fabric's per-port traffic with aggregate Mbit/s.
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        writeln!(
+            f,
+            "== cluster: {} machine(s), {} cycles ({:.3} ms at {} ns) ==",
+            self.machines.len(),
+            self.cycles,
+            self.elapsed_seconds() * 1e3,
+            self.clock.cycle_ns()
+        )?;
+        writeln!(f, "-- per-machine task utilization --")?;
+        for (label, s) in &self.machines {
+            let mut shares = String::new();
+            for i in 0..NUM_TASKS {
+                if s.executed[i] > 0 {
+                    shares.push_str(&format!(
+                        " t{i} {:.1}%",
+                        100.0 * s.processor_share(TaskId::new(i as u8))
+                    ));
+                }
+            }
+            write!(f, "{label:>8}  busy {:>5.1}%{shares}", {
+                let busy = if s.cycles == 0 {
+                    0.0
+                } else {
+                    s.instructions() as f64 / s.cycles as f64
+                };
+                100.0 * busy
+            })?;
+            if s.io_overruns > 0 {
+                write!(f, "  (overruns {})", s.io_overruns)?;
+            }
+            writeln!(f)?;
+        }
+        writeln!(
+            f,
+            "-- fabric ({} port(s), {} cycles/word) --",
+            self.fabric.ports.len(),
+            self.fabric.word_cycles
+        )?;
+        writeln!(f, "port   tx pkts    words   rx pkts    words  drops")?;
+        for (i, p) in self.fabric.ports.iter().enumerate() {
+            writeln!(
+                f,
+                "{i:>4}  {:>8} {:>8}  {:>8} {:>8}  {:>5}",
+                p.tx_packets, p.tx_words, p.rx_packets, p.rx_words, p.drops
+            )?;
+        }
+        write!(
+            f,
+            "fabric: {:.2} Mbit/s delivered ({:.2} offered), wire utilization {:.1}%, {} drop(s)",
+            self.fabric_rx_mbps(),
+            self.fabric_tx_mbps(),
+            100.0 * self.fabric_utilization(),
+            self.fabric.drops()
         )
     }
 }
@@ -407,5 +558,76 @@ mod tests {
         assert!(text.contains("mem-data"));
         assert!(text.contains("processor"));
         assert!(text.contains("Mbit/s"));
+    }
+
+    #[test]
+    fn display_renders_overruns_only_when_present() {
+        let text = format!("{}", sample());
+        assert!(!text.contains("overruns"));
+        let mut s = sample().stats().clone();
+        s.io_overruns = 3;
+        let text = format!("{}", Report::new(s, ClockConfig::multiwire()));
+        assert!(text.contains("io rx overruns: 3"));
+    }
+
+    fn cluster_sample() -> ClusterReport {
+        let mut a = Stats::new();
+        a.cycles = 1000;
+        a.executed[0] = 600;
+        a.executed[13] = 100;
+        let mut b = Stats::new();
+        b.cycles = 1000;
+        b.executed[0] = 500;
+        b.io_overruns = 2;
+        let mut fabric = FabricStats::new(2, 89);
+        fabric.ports[0].tx_packets = 4;
+        fabric.ports[0].tx_words = 40;
+        fabric.ports[1].rx_packets = 4;
+        fabric.ports[1].rx_words = 40;
+        fabric.ports[1].drops = 1;
+        ClusterReport::new(
+            ClockConfig::multiwire(),
+            1000,
+            vec![("m0".into(), a), ("m1".into(), b)],
+            fabric,
+        )
+    }
+
+    #[test]
+    fn cluster_bandwidth_and_utilization() {
+        let r = cluster_sample();
+        // 40 words * 16 bits over 1000 cycles * 60 ns.
+        let want = 640.0 / (1000.0 * 60.0 * 1e-9) / 1e6;
+        assert!((r.fabric_rx_mbps() - want).abs() < 1e-6);
+        assert!((r.fabric_tx_mbps() - want).abs() < 1e-6);
+        // 40 words * 89 cycles of wire time over 2 ports * 1000 cycles.
+        assert!((r.fabric_utilization() - 40.0 * 89.0 / 2000.0).abs() < 1e-12);
+        assert_eq!(r.fabric().drops(), 1);
+        assert_eq!(r.machines().len(), 2);
+        assert!((r.machine_report(0).utilization(TaskId::EMULATOR) - 0.6).abs() < 1e-12);
+    }
+
+    #[test]
+    fn cluster_display_renders() {
+        let text = format!("{}", cluster_sample());
+        assert!(text.contains("cluster: 2 machine(s)"));
+        assert!(text.contains("per-machine task utilization"));
+        assert!(text.contains("t13 10.0%"));
+        assert!(text.contains("overruns 2"));
+        assert!(text.contains("Mbit/s delivered"));
+        assert!(text.contains("1 drop(s)"));
+    }
+
+    #[test]
+    fn cluster_zero_window_is_zero() {
+        let r = ClusterReport::new(
+            ClockConfig::multiwire(),
+            0,
+            vec![],
+            FabricStats::new(0, 89),
+        );
+        assert_eq!(r.fabric_rx_mbps(), 0.0);
+        assert_eq!(r.fabric_utilization(), 0.0);
+        assert!(!format!("{r}").is_empty());
     }
 }

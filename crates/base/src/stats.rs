@@ -47,6 +47,9 @@ pub struct Stats {
     pub macro_instructions: u64,
     /// Cache references made by the IFU for byte-stream prefetch.
     pub ifu_fetches: u64,
+    /// Words dropped by slow-I/O device rx FIFOs because the service task
+    /// fell behind the line rate (e.g. the Ethernet controller's overruns).
+    pub io_overruns: u64,
     /// Cache traffic split by requester (processor / IFU / fast I/O).
     pub cache: CacheStats,
     /// Storage-pipeline traffic and occupancy.
@@ -137,6 +140,7 @@ impl Stats {
         d.slow_io_words -= earlier.slow_io_words;
         d.macro_instructions -= earlier.macro_instructions;
         d.ifu_fetches -= earlier.ifu_fetches;
+        d.io_overruns -= earlier.io_overruns;
         d.cache = self.cache.since(&earlier.cache);
         d.storage = self.storage.since(&earlier.storage);
         d.ifu = self.ifu.since(&earlier.ifu);
@@ -164,6 +168,9 @@ impl std::fmt::Display for Stats {
             self.fast_io_munches,
             self.slow_io_words
         )?;
+        if self.io_overruns > 0 {
+            writeln!(f, "io overruns={}", self.io_overruns)?;
+        }
         write!(f, "macroinstructions={}", self.macro_instructions)
     }
 }
@@ -199,14 +206,25 @@ mod tests {
         a.cycles = 10;
         a.executed[0] = 8;
         a.cache_refs = 4;
+        a.io_overruns = 1;
         let mut b = a.clone();
         b.cycles = 25;
         b.executed[0] = 20;
         b.cache_refs = 9;
+        b.io_overruns = 4;
         let d = b.since(&a);
         assert_eq!(d.cycles, 15);
         assert_eq!(d.executed[0], 12);
         assert_eq!(d.cache_refs, 5);
+        assert_eq!(d.io_overruns, 3);
+    }
+
+    #[test]
+    fn overruns_appear_in_display() {
+        let mut s = Stats::new();
+        assert!(!format!("{s}").contains("overruns"));
+        s.io_overruns = 2;
+        assert!(format!("{s}").contains("io overruns=2"));
     }
 
     #[test]

@@ -1,0 +1,72 @@
+//! E15 (§2): many Dorados on one Ethernet.  Sweeps cluster size over
+//! 1/2/4/8 machines running the closed-loop RPC workload and reports
+//!
+//! * aggregate completed requests per second of *simulated* time (the
+//!   throughput scaling claim: client/server pairs scale linearly), and
+//! * the parallel executor's wall-clock speedup over the single-threaded
+//!   reference on identical work (the bit-identical schedules make this a
+//!   pure execution-strategy comparison).
+
+use std::time::Instant;
+
+use dorado_bench::harness::bench;
+use dorado_cluster::{ClusterConfig, ClusterSim};
+
+const WINDOW: u16 = 3;
+const PAYLOAD: u16 = 2;
+const EPOCH_CYCLES: u64 = 2_000;
+const EPOCHS: u64 = 150;
+
+fn run(machines: usize, parallel: bool) -> ClusterSim {
+    let mut cfg = ClusterConfig::pairs(machines, WINDOW, PAYLOAD);
+    cfg.epoch_cycles = EPOCH_CYCLES;
+    let mut sim = ClusterSim::build(&cfg).expect("cluster builds");
+    sim.run(EPOCHS, parallel);
+    sim
+}
+
+fn main() {
+    let cores = std::thread::available_parallelism().map_or(1, |n| n.get());
+    println!(
+        "E15 | {} epochs x {EPOCH_CYCLES} cycles, closed-loop window {WINDOW}, payload {PAYLOAD} words, {cores} core(s) available",
+        EPOCHS
+    );
+    if cores == 1 {
+        println!("E15 | single-core host: expect speedup ~x1.0 (threading overhead only)");
+    }
+    for machines in [1usize, 2, 4, 8] {
+        // Measure throughput and the two execution strategies once each
+        // for the claim lines; the timing harness re-samples below.
+        let t0 = Instant::now();
+        let seq = run(machines, false);
+        let seq_wall = t0.elapsed();
+        let t1 = Instant::now();
+        let par = run(machines, true);
+        let par_wall = t1.elapsed();
+        assert_eq!(
+            seq.responses(),
+            par.responses(),
+            "parallel run must match sequential"
+        );
+        let lat = seq.request_latencies();
+        let mean_lat = if lat.is_empty() {
+            0.0
+        } else {
+            lat.iter().sum::<u64>() as f64 / lat.len() as f64
+        };
+        println!(
+            "E15 | {machines} machine(s): {:.0} req/s simulated ({} responses), mean latency {:.0} cycles, fabric {:.3} Mbit/s, speedup x{:.2}",
+            seq.requests_per_sec(),
+            seq.responses(),
+            mean_lat,
+            seq.report().fabric_rx_mbps(),
+            seq_wall.as_secs_f64() / par_wall.as_secs_f64().max(1e-9),
+        );
+        bench(&format!("e15/seq/{machines}"), || {
+            run(machines, false).responses()
+        });
+        bench(&format!("e15/par/{machines}"), || {
+            run(machines, true).responses()
+        });
+    }
+}

@@ -1,0 +1,137 @@
+//! The epoch-based executor: N machines, one fabric, bit-identical results
+//! whether the machines run on one thread or N.
+//!
+//! Time advances in fixed *epochs* of `epoch_cycles` microcycles.  Within
+//! an epoch every machine runs independently; packets a machine transmits
+//! are drained at the epoch boundary, stamped with the boundary cycle, and
+//! injected at their destination only once their fabric flight time has
+//! elapsed — always at a later boundary.  Because no machine can observe
+//! another mid-epoch, the parallel schedule and the sequential schedule
+//! compute the same thing, and [`run_parallel`] is asserted bit-identical
+//! to [`run_sequential`] by the determinism test.
+//!
+//! Each epoch has three phases separated by barriers:
+//!
+//! 1. **run** — every machine executes its quantum ([`Dorado::run_quantum`]);
+//! 2. **send** — every machine drains its [`NetworkController`] transcript
+//!    into the fabric (per-source order preserved; cross-source
+//!    interleaving is irrelevant by the fabric's ordering contract);
+//! 3. **collect** — every machine takes the packets now due at its port
+//!    and injects them into its controller.
+//!
+//! The third barrier keeps a fast thread's epoch-*e+1* sends out of a slow
+//! thread's epoch-*e* queue-cap accounting.
+
+use std::sync::{Barrier, Mutex};
+
+use dorado_core::Dorado;
+use dorado_io::NetworkController;
+
+use crate::fabric::Fabric;
+
+/// How long to run, in epochs of a fixed cycle quantum.
+#[derive(Debug, Clone, Copy)]
+pub struct EpochConfig {
+    /// Microcycles per epoch (also the fabric timestamp granularity).
+    pub epoch_cycles: u64,
+    /// Number of epochs.
+    pub epochs: u64,
+}
+
+fn net(m: &mut Dorado) -> &mut NetworkController {
+    m.device_mut::<NetworkController>("network")
+        .expect("cluster machines carry a network controller")
+}
+
+fn exchange(m: &mut Dorado, port: usize, fabric: &mut Fabric, now: u64, phase_send: bool) {
+    if phase_send {
+        for pkt in net(m).drain_transmitted() {
+            fabric.send(port, pkt, now);
+        }
+    } else {
+        for pkt in fabric.collect_for_port(port, now) {
+            net(m).inject_packet(pkt);
+        }
+    }
+}
+
+/// Runs every machine for `cfg.epochs` epochs on the calling thread.
+/// Machine *i* owns fabric port *i*.  `start_cycle` is the fabric
+/// timestamp of the first boundary minus one epoch (pass the value a
+/// previous call returned to continue).  Returns the final fabric time.
+pub fn run_sequential(
+    machines: &mut [Dorado],
+    fabric: &mut Fabric,
+    cfg: EpochConfig,
+    start_cycle: u64,
+) -> u64 {
+    assert_eq!(machines.len(), fabric.ports(), "one machine per port");
+    let mut now = start_cycle;
+    for _ in 0..cfg.epochs {
+        now += cfg.epoch_cycles;
+        for m in machines.iter_mut() {
+            m.run_quantum(cfg.epoch_cycles);
+        }
+        for (port, m) in machines.iter_mut().enumerate() {
+            exchange(m, port, fabric, now, true);
+        }
+        for (port, m) in machines.iter_mut().enumerate() {
+            exchange(m, port, fabric, now, false);
+        }
+    }
+    now
+}
+
+/// Like [`run_sequential`], but each machine runs on its own OS thread;
+/// the fabric is shared behind a mutex and the three phases are separated
+/// by barriers.  Produces bit-identical machine statistics and fabric
+/// counters.
+pub fn run_parallel(
+    machines: &mut [Dorado],
+    fabric: &mut Fabric,
+    cfg: EpochConfig,
+    start_cycle: u64,
+) -> u64 {
+    assert_eq!(machines.len(), fabric.ports(), "one machine per port");
+    if machines.is_empty() {
+        return start_cycle + cfg.epochs * cfg.epoch_cycles;
+    }
+    let barrier = Barrier::new(machines.len());
+    let shared = Mutex::new(fabric);
+    std::thread::scope(|s| {
+        for (port, m) in machines.iter_mut().enumerate() {
+            let barrier = &barrier;
+            let shared = &shared;
+            s.spawn(move || {
+                let mut now = start_cycle;
+                for _ in 0..cfg.epochs {
+                    now += cfg.epoch_cycles;
+                    m.run_quantum(cfg.epoch_cycles);
+                    barrier.wait();
+                    exchange(m, port, &mut shared.lock().unwrap(), now, true);
+                    barrier.wait();
+                    exchange(m, port, &mut shared.lock().unwrap(), now, false);
+                    barrier.wait();
+                }
+            });
+        }
+    });
+    start_cycle + cfg.epochs * cfg.epoch_cycles
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::fabric::FabricConfig;
+
+    #[test]
+    fn empty_cluster_advances_time() {
+        let mut fabric = Fabric::new(&FabricConfig::default(), vec![]);
+        let cfg = EpochConfig {
+            epoch_cycles: 100,
+            epochs: 7,
+        };
+        assert_eq!(run_sequential(&mut [], &mut fabric, cfg, 50), 750);
+        assert_eq!(run_parallel(&mut [], &mut fabric, cfg, 50), 750);
+    }
+}

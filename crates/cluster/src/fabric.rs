@@ -1,0 +1,330 @@
+//! The Ethernet fabric: a switch connecting Dorado network controllers.
+//!
+//! The paper's machines shared a 3 Mbit/s experimental Ethernet (§2).  The
+//! fabric models the medium between [`NetworkController`]s as a store-and-
+//! forward switch: a packet transmitted out of port *s* is routed by its
+//! first word (the destination address) and becomes deliverable at the
+//! destination port after a latency of `latency_words` plus the packet's
+//! own serialization time, all expressed in line-rate *word times*.
+//!
+//! Determinism is the design constraint: the parallel executor sends from
+//! many threads, so nothing observable may depend on send interleaving.
+//! Deliveries are ordered by `(due cycle, source port, per-fabric
+//! sequence)` — the sequence counter is assigned under the fabric lock and
+//! only ever compared between packets of the *same* source, where relative
+//! order is fixed by the sender's FIFO — and the output-queue cap is
+//! enforced per destination port at collect time, never at send time.
+//!
+//! [`NetworkController`]: dorado_io::NetworkController
+
+use dorado_base::{ClockConfig, FabricPortStats, FabricStats, Word};
+
+/// Fabric parameters.
+#[derive(Debug, Clone, Copy)]
+pub struct FabricConfig {
+    /// Line rate in Mbit/s (3.0 = the experimental Ethernet).
+    pub mbps: f64,
+    /// The cycle time the word clock is derived from.
+    pub clock: ClockConfig,
+    /// Switch latency in word times, added to every packet's serialization.
+    pub latency_words: u64,
+    /// Maximum packets that may remain queued toward one destination port
+    /// across an epoch boundary; the newest beyond this are dropped.
+    pub port_queue_limit: usize,
+}
+
+impl Default for FabricConfig {
+    fn default() -> Self {
+        FabricConfig {
+            mbps: 3.0,
+            clock: ClockConfig::default(),
+            latency_words: 2,
+            port_queue_limit: 32,
+        }
+    }
+}
+
+impl FabricConfig {
+    /// Cycles per word time at this line rate and clock (at least 1).
+    pub fn word_cycles(&self) -> u64 {
+        // 16 bits/word ÷ (mbps·10⁶ bit/s) in ns, over the cycle time.
+        let ns_per_word = 16.0 * 1000.0 / self.mbps;
+        ((ns_per_word / self.clock.cycle_ns()).round() as u64).max(1)
+    }
+}
+
+/// One packet either sent or delivered on a port, for latency matching.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct PacketRecord {
+    /// Cycle the packet was sent (tx log) or delivered (rx log).
+    pub cycle: u64,
+    /// The other end: destination address (tx) or source address (rx).
+    pub peer: Word,
+    /// The packet's third word (the workload's sequence number), 0 if the
+    /// packet is shorter than three words.
+    pub seq: Word,
+    /// Packet length in words.
+    pub len: usize,
+}
+
+#[derive(Debug)]
+struct Delivery {
+    due: u64,
+    src: usize,
+    seq: u64,
+    dst: usize,
+    words: Vec<Word>,
+}
+
+/// The switch.  Ports are dense indices; each is bound to one fabric
+/// address (the value clients put in packet word 0).
+#[derive(Debug)]
+pub struct Fabric {
+    word_cycles: u64,
+    latency_words: u64,
+    port_queue_limit: usize,
+    addresses: Vec<Word>,
+    in_flight: Vec<Delivery>,
+    next_seq: u64,
+    ports: Vec<FabricPortStats>,
+    tx_log: Vec<Vec<PacketRecord>>,
+    rx_log: Vec<Vec<PacketRecord>>,
+}
+
+impl Fabric {
+    /// Creates a fabric with one port per entry of `addresses`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if two ports share an address.
+    pub fn new(config: &FabricConfig, addresses: Vec<Word>) -> Self {
+        for (i, a) in addresses.iter().enumerate() {
+            assert!(
+                !addresses[..i].contains(a),
+                "fabric address {a:#x} bound twice"
+            );
+        }
+        let n = addresses.len();
+        Fabric {
+            word_cycles: config.word_cycles(),
+            latency_words: config.latency_words,
+            port_queue_limit: config.port_queue_limit,
+            addresses,
+            in_flight: Vec::new(),
+            next_seq: 0,
+            ports: vec![FabricPortStats::default(); n],
+            tx_log: vec![Vec::new(); n],
+            rx_log: vec![Vec::new(); n],
+        }
+    }
+
+    /// Number of ports.
+    pub fn ports(&self) -> usize {
+        self.addresses.len()
+    }
+
+    /// Cycles per word time on the wire.
+    pub fn word_cycles(&self) -> u64 {
+        self.word_cycles
+    }
+
+    /// The fabric address bound to `port`.
+    pub fn address(&self, port: usize) -> Word {
+        self.addresses[port]
+    }
+
+    fn record(packet: &[Word], peer: Word, cycle: u64) -> PacketRecord {
+        PacketRecord {
+            cycle,
+            peer,
+            seq: packet.get(2).copied().unwrap_or(0),
+            len: packet.len(),
+        }
+    }
+
+    /// Accepts a packet transmitted out of `src` at cycle `now`.  Word 0
+    /// addresses the destination; a packet addressed to no port is dropped
+    /// and the drop charged to the source.
+    ///
+    /// # Panics
+    ///
+    /// Panics on an empty packet (controllers never emit one).
+    pub fn send(&mut self, src: usize, packet: Vec<Word>, now: u64) {
+        assert!(!packet.is_empty(), "fabric packets are non-empty");
+        self.ports[src].tx_packets += 1;
+        self.ports[src].tx_words += packet.len() as u64;
+        self.tx_log[src].push(Self::record(&packet, packet[0], now));
+        let Some(dst) = self.addresses.iter().position(|&a| a == packet[0]) else {
+            self.ports[src].drops += 1;
+            return;
+        };
+        let flight = (self.latency_words + packet.len() as u64) * self.word_cycles;
+        self.in_flight.push(Delivery {
+            due: now + flight,
+            src,
+            seq: self.next_seq,
+            dst,
+            words: packet,
+        });
+        self.next_seq += 1;
+    }
+
+    /// Extracts the packets due at `port` by cycle `now`, in deterministic
+    /// `(due, src, seq)` order, and enforces the port's queue cap on
+    /// whatever remains in flight toward it (newest dropped first —
+    /// charged to the destination).
+    pub fn collect_for_port(&mut self, port: usize, now: u64) -> Vec<Vec<Word>> {
+        let mut due: Vec<Delivery> = Vec::new();
+        let mut pending = 0usize;
+        let mut i = 0;
+        while i < self.in_flight.len() {
+            if self.in_flight[i].dst == port {
+                if self.in_flight[i].due <= now {
+                    due.push(self.in_flight.swap_remove(i));
+                    continue;
+                }
+                pending += 1;
+            }
+            i += 1;
+        }
+        due.sort_by_key(|d| (d.due, d.src, d.seq));
+        if pending > self.port_queue_limit {
+            let mut excess = pending - self.port_queue_limit;
+            // Drop the newest (largest sort key) still-pending packets.
+            let mut keys: Vec<(u64, usize, u64, usize)> = self
+                .in_flight
+                .iter()
+                .enumerate()
+                .filter(|(_, d)| d.dst == port)
+                .map(|(i, d)| (d.due, d.src, d.seq, i))
+                .collect();
+            keys.sort_unstable();
+            while excess > 0 {
+                let (_, _, _, victim) = keys.pop().expect("excess implies entries");
+                self.in_flight.swap_remove(victim);
+                // Fix up indices displaced by swap_remove.
+                let moved = self.in_flight.len();
+                for k in &mut keys {
+                    if k.3 == moved {
+                        k.3 = victim;
+                    }
+                }
+                self.ports[port].drops += 1;
+                excess -= 1;
+            }
+        }
+        due.into_iter()
+            .map(|d| {
+                self.ports[port].rx_packets += 1;
+                self.ports[port].rx_words += d.words.len() as u64;
+                self.rx_log[port]
+                    .push(Self::record(&d.words, d.words.get(1).copied().unwrap_or(0), now));
+                d.words
+            })
+            .collect()
+    }
+
+    /// Per-port counters plus the word clock, for the cluster report.
+    pub fn stats(&self) -> FabricStats {
+        FabricStats {
+            ports: self.ports.clone(),
+            word_cycles: self.word_cycles,
+        }
+    }
+
+    /// Packets sent out of `port`, oldest first.
+    pub fn tx_log(&self, port: usize) -> &[PacketRecord] {
+        &self.tx_log[port]
+    }
+
+    /// Packets delivered to `port`, oldest first.
+    pub fn rx_log(&self, port: usize) -> &[PacketRecord] {
+        &self.rx_log[port]
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn fabric(n: usize) -> Fabric {
+        let cfg = FabricConfig::default();
+        Fabric::new(&cfg, (0..n).map(|i| 0x100 + i as Word).collect())
+    }
+
+    #[test]
+    fn word_clock_from_rate_and_cycle() {
+        // 3 Mbit/s at 60 ns: 16 bits take 5333 ns ≈ 89 cycles.
+        assert_eq!(FabricConfig::default().word_cycles(), 89);
+        let fast = FabricConfig {
+            mbps: 3000.0,
+            ..FabricConfig::default()
+        };
+        assert_eq!(fast.word_cycles(), 1, "clamped to one cycle per word");
+    }
+
+    #[test]
+    fn routes_by_first_word_with_latency() {
+        let mut f = fabric(2);
+        f.send(0, vec![0x101, 0x100, 7, 42], 1000);
+        let flight = (2 + 4) * 89;
+        assert!(f.collect_for_port(1, 1000 + flight - 1).is_empty());
+        let got = f.collect_for_port(1, 1000 + flight);
+        assert_eq!(got, vec![vec![0x101, 0x100, 7, 42]]);
+        let s = f.stats();
+        assert_eq!(s.tx_packets(), 1);
+        assert_eq!(s.rx_words(), 4);
+        assert_eq!(s.drops(), 0);
+        assert_eq!(f.tx_log(0), &[PacketRecord { cycle: 1000, peer: 0x101, seq: 7, len: 4 }]);
+        assert_eq!(f.rx_log(1).len(), 1);
+        assert_eq!(f.rx_log(1)[0].peer, 0x100, "rx peer is the source address");
+    }
+
+    #[test]
+    fn unroutable_charged_to_source() {
+        let mut f = fabric(2);
+        f.send(0, vec![0xdead, 0x100, 0], 0);
+        let s = f.stats();
+        assert_eq!(s.drops(), 1);
+        assert_eq!(s.tx_packets(), 1, "tx counted even when dropped");
+        assert_eq!(f.collect_for_port(1, u64::MAX), Vec::<Vec<Word>>::new());
+    }
+
+    #[test]
+    fn deliveries_sorted_by_due_then_source() {
+        let mut f = fabric(3);
+        // Port 2 hears from both peers; the longer packet sent earlier
+        // lands later.
+        f.send(1, vec![0x102, 0x101, 1, 0, 0, 0, 0, 0], 0);
+        f.send(0, vec![0x102, 0x100, 2], 0);
+        let got = f.collect_for_port(2, u64::MAX);
+        assert_eq!(got[0][1], 0x100, "short packet arrives first");
+        assert_eq!(got[1][1], 0x101);
+    }
+
+    #[test]
+    fn queue_cap_drops_newest_pending() {
+        let cfg = FabricConfig {
+            port_queue_limit: 2,
+            ..FabricConfig::default()
+        };
+        let mut f = Fabric::new(&cfg, vec![0x100, 0x101]);
+        for seq in 0..5 {
+            f.send(0, vec![0x101, 0x100, seq], 0);
+        }
+        // Nothing due yet: the cap trims the backlog to 2, dropping the
+        // 3 newest.
+        assert!(f.collect_for_port(1, 0).is_empty());
+        assert_eq!(f.stats().ports[1].drops, 3);
+        let got = f.collect_for_port(1, u64::MAX);
+        assert_eq!(got.len(), 2);
+        assert_eq!((got[0][2], got[1][2]), (0, 1), "oldest survive");
+    }
+
+    #[test]
+    #[should_panic(expected = "bound twice")]
+    fn duplicate_addresses_rejected() {
+        let cfg = FabricConfig::default();
+        let _ = Fabric::new(&cfg, vec![0x100, 0x100]);
+    }
+}

@@ -1,0 +1,372 @@
+//! The workload driver: builds a cluster of Dorados running the RPC
+//! microcode of [`dorado_emu::cluster`] and measures it.
+//!
+//! Every machine boots the same microstore image (the cluster suite
+//! module) and differs only in its task entry points and preset RM
+//! registers — the way real Dorados differed only in their boot microcode
+//! arguments.  Roles:
+//!
+//! * [`Role::EchoServer`] — the network task answers every request;
+//! * [`Role::ClosedClient`] — keeps `window` requests outstanding
+//!   (closed-loop load: send on every response);
+//! * [`Role::OpenClient`] — emits a request every `period` emulator-loop
+//!   iterations, regardless of responses (open-loop load).
+//!
+//! Throughput comes from the microcode's own RM counters, latency from
+//! the fabric's per-port packet logs, and utilization/bandwidth from the
+//! [`ClusterReport`] assembled by [`ClusterSim::report`].
+
+use dorado_base::{ClusterReport, Word};
+use dorado_core::Dorado;
+use dorado_emu::cluster as ucode;
+use dorado_emu::layout::{IOA_NET, TASK_EMU, TASK_NET};
+use dorado_emu::suite::SuiteError;
+use dorado_emu::SuiteBuilder;
+use dorado_io::NetworkController;
+
+use crate::exec::{run_parallel, run_sequential, EpochConfig};
+use crate::fabric::{Fabric, FabricConfig};
+
+/// What one machine in the cluster does.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Role {
+    /// Echo every inbound packet with source and destination swapped.
+    EchoServer,
+    /// Keep `window` requests outstanding against machine `target`.
+    ClosedClient {
+        /// Port index of the machine to send to (may be this machine).
+        target: usize,
+        /// Outstanding requests.
+        window: Word,
+        /// Payload words per request beyond the three header words.
+        payload: Word,
+    },
+    /// Send to `target` every `period` generator iterations.
+    OpenClient {
+        /// Port index of the machine to send to.
+        target: usize,
+        /// Generator loop iterations between requests (≥ 1 sensible).
+        period: Word,
+        /// Payload words per request.
+        payload: Word,
+    },
+}
+
+impl Role {
+    /// Whether this machine counts toward client-side response totals.
+    pub fn is_client(&self) -> bool {
+        !matches!(self, Role::EchoServer)
+    }
+}
+
+/// One machine's specification.
+#[derive(Debug, Clone)]
+pub struct MachineSpec {
+    /// Display label for reports.
+    pub label: String,
+    /// What the machine runs.
+    pub role: Role,
+}
+
+/// A whole cluster's specification.
+#[derive(Debug, Clone)]
+pub struct ClusterConfig {
+    /// The machines, in port order.
+    pub specs: Vec<MachineSpec>,
+    /// The fabric between them (also supplies the common clock and the
+    /// controllers' line rate).
+    pub fabric: FabricConfig,
+    /// Microcycles per executor epoch.
+    pub epoch_cycles: u64,
+}
+
+impl ClusterConfig {
+    /// The standard scaling topology for `machines` machines: client/
+    /// server pairs (even ports serve, odd ports run closed-loop clients
+    /// against their even neighbour).  A single machine runs a closed
+    /// loop against itself through the fabric — the degenerate pair.
+    pub fn pairs(machines: usize, window: Word, payload: Word) -> Self {
+        assert!(machines > 0, "a cluster needs at least one machine");
+        let specs = (0..machines)
+            .map(|i| {
+                let role = if machines > 1 && i % 2 == 0 {
+                    Role::EchoServer
+                } else {
+                    Role::ClosedClient {
+                        target: if machines == 1 { 0 } else { i - 1 },
+                        window,
+                        payload,
+                    }
+                };
+                MachineSpec {
+                    label: match role {
+                        Role::EchoServer => format!("m{i} server"),
+                        _ => format!("m{i} client"),
+                    },
+                    role,
+                }
+            })
+            .collect();
+        ClusterConfig {
+            specs,
+            fabric: FabricConfig::default(),
+            epoch_cycles: 2_000,
+        }
+    }
+}
+
+/// Fabric address of port `port` (word 0 of packets sent to it).
+pub fn port_address(port: usize) -> Word {
+    0x100 + port as Word
+}
+
+/// A built cluster: machines, fabric, and the running clock.
+#[derive(Debug)]
+pub struct ClusterSim {
+    labels: Vec<String>,
+    roles: Vec<Role>,
+    /// The machines, in port order.
+    pub machines: Vec<Dorado>,
+    /// The fabric connecting them.
+    pub fabric: Fabric,
+    epoch_cycles: u64,
+    cycles: u64,
+    clock: dorado_base::ClockConfig,
+}
+
+impl ClusterSim {
+    /// Assembles the cluster microcode once and builds every machine.
+    ///
+    /// # Errors
+    ///
+    /// Propagates microcode placement and machine build failures.
+    ///
+    /// # Panics
+    ///
+    /// Panics if a client targets a port outside the cluster.
+    pub fn build(cfg: &ClusterConfig) -> Result<Self, SuiteError> {
+        let suite = SuiteBuilder::new().with_cluster().assemble()?;
+        let addresses: Vec<Word> = (0..cfg.specs.len()).map(port_address).collect();
+        let fabric = Fabric::new(&cfg.fabric, addresses);
+        let mut machines = Vec::with_capacity(cfg.specs.len());
+        for (port, spec) in cfg.specs.iter().enumerate() {
+            let net =
+                NetworkController::with_clock(TASK_NET, cfg.fabric.mbps, &cfg.fabric.clock);
+            let builder = suite
+                .machine()
+                .clock(cfg.fabric.clock)
+                .device(Box::new(net), IOA_NET, 4)
+                .wire_ioaddress(TASK_NET, IOA_NET);
+            let builder = match spec.role {
+                Role::EchoServer => builder
+                    .task_entry(TASK_EMU, "clu:idle")
+                    .task_entry(TASK_NET, "eserv:init"),
+                Role::ClosedClient { .. } => builder
+                    .task_entry(TASK_EMU, "clib:init")
+                    .task_entry(TASK_NET, "clic:init"),
+                Role::OpenClient { .. } => builder
+                    .task_entry(TASK_EMU, "clio:init")
+                    .task_entry(TASK_NET, "clid:init"),
+            };
+            let mut m = builder.build()?;
+            let me = port_address(port);
+            match spec.role {
+                Role::EchoServer => {}
+                Role::ClosedClient {
+                    target,
+                    window,
+                    payload,
+                } => {
+                    assert!(target < cfg.specs.len(), "client target out of range");
+                    let srv = port_address(target);
+                    ucode::preset_emu_client(&mut m, srv, me, 0, payload, window);
+                    // The network task continues the sequence where the
+                    // emulator's priming window left off.
+                    ucode::preset_net_client(&mut m, srv, me, window, payload);
+                }
+                Role::OpenClient {
+                    target,
+                    period,
+                    payload,
+                } => {
+                    assert!(target < cfg.specs.len(), "client target out of range");
+                    let srv = port_address(target);
+                    ucode::preset_emu_client(&mut m, srv, me, 0, payload, period);
+                    ucode::preset_net_client(&mut m, srv, me, 0, payload);
+                }
+            }
+            machines.push(m);
+        }
+        Ok(ClusterSim {
+            labels: cfg.specs.iter().map(|s| s.label.clone()).collect(),
+            roles: cfg.specs.iter().map(|s| s.role).collect(),
+            machines,
+            fabric,
+            epoch_cycles: cfg.epoch_cycles,
+            cycles: 0,
+            clock: cfg.fabric.clock,
+        })
+    }
+
+    /// Runs `epochs` more epochs, on one thread or one thread per machine.
+    pub fn run(&mut self, epochs: u64, parallel: bool) {
+        let cfg = EpochConfig {
+            epoch_cycles: self.epoch_cycles,
+            epochs,
+        };
+        self.cycles = if parallel {
+            run_parallel(&mut self.machines, &mut self.fabric, cfg, self.cycles)
+        } else {
+            run_sequential(&mut self.machines, &mut self.fabric, cfg, self.cycles)
+        };
+    }
+
+    /// Common simulated time elapsed, in microcycles.
+    pub fn cycles(&self) -> u64 {
+        self.cycles
+    }
+
+    /// The machines' roles, in port order.
+    pub fn roles(&self) -> &[Role] {
+        &self.roles
+    }
+
+    /// The network-task counter of machine `port`: packets served (server)
+    /// or responses received (client).
+    pub fn net_count(&self, port: usize) -> Word {
+        ucode::net_count(&self.machines[port])
+    }
+
+    /// Responses received across all client machines.
+    pub fn responses(&self) -> u64 {
+        self.roles
+            .iter()
+            .enumerate()
+            .filter(|(_, r)| r.is_client())
+            .map(|(i, _)| u64::from(self.net_count(i)))
+            .sum()
+    }
+
+    /// Packets served across all server machines.
+    pub fn served(&self) -> u64 {
+        self.roles
+            .iter()
+            .enumerate()
+            .filter(|(_, r)| !r.is_client())
+            .map(|(i, _)| u64::from(self.net_count(i)))
+            .sum()
+    }
+
+    /// Per-request round-trip latencies in microcycles, one entry per
+    /// matched request/response on every client port (matched by the
+    /// packet sequence word in the fabric logs).
+    pub fn request_latencies(&self) -> Vec<u64> {
+        let mut out = Vec::new();
+        for (port, role) in self.roles.iter().enumerate() {
+            if !role.is_client() {
+                continue;
+            }
+            let rx = self.fabric.rx_log(port);
+            for tx in self.fabric.tx_log(port) {
+                if let Some(resp) = rx
+                    .iter()
+                    .find(|r| r.seq == tx.seq && r.cycle >= tx.cycle)
+                {
+                    out.push(resp.cycle - tx.cycle);
+                }
+            }
+        }
+        out
+    }
+
+    /// Aggregate completed requests per second of *simulated* time.
+    pub fn requests_per_sec(&self) -> f64 {
+        let secs = self
+            .clock
+            .to_seconds(dorado_base::Cycles(self.cycles));
+        if secs == 0.0 {
+            return 0.0;
+        }
+        self.responses() as f64 / secs
+    }
+
+    /// The cluster-wide report: per-machine task utilization plus fabric
+    /// bandwidth and drops.
+    pub fn report(&self) -> ClusterReport {
+        let machines = self
+            .labels
+            .iter()
+            .zip(&self.machines)
+            .map(|(label, m)| (label.clone(), m.stats()))
+            .collect();
+        ClusterReport::new(self.clock, self.cycles, machines, self.fabric.stats())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn pair_topology_shapes() {
+        let one = ClusterConfig::pairs(1, 4, 2);
+        assert!(matches!(
+            one.specs[0].role,
+            Role::ClosedClient { target: 0, .. }
+        ));
+        let four = ClusterConfig::pairs(4, 4, 2);
+        assert_eq!(four.specs.len(), 4);
+        assert!(matches!(four.specs[0].role, Role::EchoServer));
+        assert!(matches!(
+            four.specs[3].role,
+            Role::ClosedClient { target: 2, .. }
+        ));
+    }
+
+    #[test]
+    fn closed_loop_pair_completes_requests() {
+        let mut sim = ClusterSim::build(&ClusterConfig::pairs(2, 2, 1)).unwrap();
+        sim.run(120, false);
+        assert!(
+            sim.served() > 0,
+            "server answered nothing: {}",
+            sim.report()
+        );
+        assert!(sim.responses() > 0, "client saw no responses");
+        let lat = sim.request_latencies();
+        assert!(!lat.is_empty());
+        // A round trip cannot beat two fabric flight times of the 5-word
+        // request (2 × (2 + 5) × 89 cycles), epoch-quantized upward.
+        assert!(lat.iter().all(|&l| l >= 2 * 7 * 89), "{lat:?}");
+        assert_eq!(sim.report().fabric().drops(), 0);
+    }
+
+    #[test]
+    fn self_loop_single_machine() {
+        let mut sim = ClusterSim::build(&ClusterConfig::pairs(1, 2, 1)).unwrap();
+        sim.run(120, false);
+        // With no echo server the fabric itself loops requests back; the
+        // client still counts them as responses.
+        assert!(sim.responses() > 0);
+        assert!(sim.requests_per_sec() > 0.0);
+    }
+
+    #[test]
+    fn open_loop_client_sends_at_period() {
+        let mut cfg = ClusterConfig::pairs(2, 0, 0);
+        cfg.specs[1].role = Role::OpenClient {
+            target: 0,
+            period: 50,
+            payload: 1,
+        };
+        let mut sim = ClusterSim::build(&cfg).unwrap();
+        sim.run(120, false);
+        let sent = u64::from(ucode::emu_count(&sim.machines[1]));
+        assert!(sent > 0, "generator never fired");
+        assert!(sim.responses() > 0, "no responses drained");
+        assert!(
+            sim.responses() <= sent,
+            "responses cannot exceed requests"
+        );
+    }
+}

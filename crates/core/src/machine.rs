@@ -484,6 +484,22 @@ impl Dorado {
         }
     }
 
+    /// Runs *exactly* `cycles` microcycles, stopping early only on halt;
+    /// returns the cycles actually stepped.
+    ///
+    /// Unlike [`Dorado::run`], breakpoints and wedge detection do not cut
+    /// the quantum short: a cluster executor needs every machine to cover
+    /// the same simulated window so that epoch boundaries line up, and a
+    /// machine spinning in an idle loop (all wakeups drained) must keep
+    /// consuming cycles rather than trip the wedge detector.
+    pub fn run_quantum(&mut self, cycles: u64) -> u64 {
+        let start = self.stats.cycles;
+        while !self.halted && self.stats.cycles - start < cycles {
+            self.step();
+        }
+        self.stats.cycles - start
+    }
+
     /// Sets a microstore breakpoint: [`Dorado::run`] stops *before* the
     /// word at `addr` executes.
     pub fn add_breakpoint(&mut self, addr: MicroAddr) {
@@ -859,6 +875,7 @@ impl Dorado {
         s.fast_io_munches = mc.fast_munches();
         s.slow_io_words = self.slow_io_words;
         s.ifu_fetches = mc.ifu_refs();
+        s.io_overruns = self.io.rx_overruns();
         s.cache = mc.cache;
         s.storage = mc.storage;
         s.ifu = *self.ifu.counters();

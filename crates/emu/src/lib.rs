@@ -30,6 +30,7 @@
 
 pub mod bcpl;
 pub mod bitblt;
+pub mod cluster;
 pub mod devices;
 pub mod layout;
 pub mod lisp;

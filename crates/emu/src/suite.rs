@@ -38,6 +38,8 @@ pub struct Modules {
     pub slow_sink: bool,
     /// Network receive loop.
     pub network: bool,
+    /// Cluster workload programs (echo server, request generators).
+    pub cluster: bool,
 }
 
 /// Builder for a complete microcode suite.
@@ -79,6 +81,7 @@ impl SuiteBuilder {
                 fastio_sink: true,
                 slow_sink: true,
                 network: true,
+                cluster: true,
             },
         }
     }
@@ -155,6 +158,13 @@ impl SuiteBuilder {
         self
     }
 
+    /// Adds the cluster workload programs (echo server and clients).
+    #[must_use]
+    pub fn with_cluster(mut self) -> Self {
+        self.modules.cluster = true;
+        self
+    }
+
     /// Assembles and places the suite.
     ///
     /// # Errors
@@ -202,6 +212,9 @@ impl SuiteBuilder {
         }
         if m.network {
             devices::emit_network_rx(&mut a);
+        }
+        if m.cluster {
+            crate::cluster::emit_microcode(&mut a);
         }
         Ok(Suite {
             modules: m,

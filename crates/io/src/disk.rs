@@ -4,7 +4,7 @@
 //! processor").
 
 use crate::{Device, RatePacer};
-use dorado_base::{TaskId, Word};
+use dorado_base::{ClockConfig, TaskId, Word};
 use std::collections::VecDeque;
 
 /// What the drive is currently doing.
@@ -40,17 +40,22 @@ impl DiskController {
     /// The default data rate in Mbit/s.
     pub const DEFAULT_MBPS: f64 = 10.0;
 
-    /// Creates a disk wired to `task` with the default 10 Mbit/s medium at
-    /// a 60 ns machine cycle.
+    /// Creates a disk wired to `task` with the default 10 Mbit/s medium on
+    /// the default (multiwire, 60 ns) clock.
     pub fn new(task: TaskId) -> Self {
-        Self::with_rate(task, Self::DEFAULT_MBPS, 60.0)
+        Self::with_clock(task, Self::DEFAULT_MBPS, &ClockConfig::default())
     }
 
-    /// Creates a disk with an explicit media rate.
+    /// Creates a disk with an explicit media rate and cycle time.
     pub fn with_rate(task: TaskId, mbps: f64, cycle_ns: f64) -> Self {
+        Self::with_clock(task, mbps, &ClockConfig::with_cycle_ns(cycle_ns))
+    }
+
+    /// Creates a disk whose media rate is paced against `clock`.
+    pub fn with_clock(task: TaskId, mbps: f64, clock: &ClockConfig) -> Self {
         DiskController {
             task,
-            pacer: RatePacer::words_for_mbps(mbps, cycle_ns),
+            pacer: RatePacer::for_clock(mbps, clock),
             mode: Mode::Idle,
             fifo: VecDeque::new(),
             fifo_depth: 16,
@@ -206,6 +211,10 @@ impl Device for DiskController {
 
     fn attention(&self) -> bool {
         matches!(self.mode, Mode::Idle) && self.fifo.is_empty()
+    }
+
+    fn rx_overruns(&self) -> u64 {
+        self.overruns
     }
 }
 

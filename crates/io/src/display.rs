@@ -9,7 +9,7 @@
 //! dual-path structure of Figure 8.
 
 use crate::{Device, RatePacer};
-use dorado_base::{TaskId, Word, MUNCH_WORDS};
+use dorado_base::{ClockConfig, TaskId, Word, MUNCH_WORDS};
 use std::collections::VecDeque;
 
 /// Registers: 0 = control (1 = start refresh, 0 = stop), 1 = status.
@@ -36,17 +36,22 @@ impl DisplayController {
     /// bandwidths of 20–400 Mbit/s).
     pub const DEFAULT_MBPS: f64 = 100.0;
 
-    /// Creates a display wired to `task` at the default dot rate and a
-    /// 60 ns machine cycle.
+    /// Creates a display wired to `task` at the default dot rate on the
+    /// default (multiwire, 60 ns) clock.
     pub fn new(task: TaskId) -> Self {
-        Self::with_rate(task, Self::DEFAULT_MBPS, 60.0)
+        Self::with_clock(task, Self::DEFAULT_MBPS, &ClockConfig::default())
     }
 
-    /// Creates a display with an explicit dot rate.
+    /// Creates a display with an explicit dot rate and cycle time.
     pub fn with_rate(task: TaskId, mbps: f64, cycle_ns: f64) -> Self {
+        Self::with_clock(task, mbps, &ClockConfig::with_cycle_ns(cycle_ns))
+    }
+
+    /// Creates a display whose dot rate is paced against `clock`.
+    pub fn with_clock(task: TaskId, mbps: f64, clock: &ClockConfig) -> Self {
         DisplayController {
             task,
-            pacer: RatePacer::words_for_mbps(mbps, cycle_ns),
+            pacer: RatePacer::for_clock(mbps, clock),
             fifo: VecDeque::new(),
             fifo_depth_munches: 4,
             active: false,

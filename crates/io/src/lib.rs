@@ -31,13 +31,16 @@ pub use network::NetworkController;
 pub use synth::RateDevice;
 
 use dorado_base::task::TaskSet;
-use dorado_base::{TaskId, Word, MUNCH_WORDS};
+use dorado_base::{ClockConfig, TaskId, Word, MUNCH_WORDS};
 
 /// A device controller's hardware half.
 ///
 /// The trait is object-safe; controllers are boxed into an [`IoSystem`].
 /// Default method bodies let simple devices ignore the fast I/O path.
-pub trait Device: std::fmt::Debug + std::any::Any {
+/// Controllers are plain data and must be [`Send`] so whole machines can
+/// move onto worker threads (the cluster executor runs one machine per
+/// thread).
+pub trait Device: std::fmt::Debug + std::any::Any + Send {
     /// A short name for traces.
     fn name(&self) -> &str;
 
@@ -88,6 +91,13 @@ pub trait Device: std::fmt::Debug + std::any::Any {
     /// (`IOStore16`).
     fn supply_munch(&mut self) -> [Word; MUNCH_WORDS] {
         [0; MUNCH_WORDS]
+    }
+
+    /// Words this device dropped because its rx FIFO overflowed while the
+    /// service task fell behind the line rate.  Devices without a paced
+    /// receive path report zero.
+    fn rx_overruns(&self) -> u64 {
+        0
     }
 }
 
@@ -232,6 +242,12 @@ impl IoSystem {
         }
     }
 
+    /// Total rx-FIFO overrun words across every attached device — the
+    /// machine-wide `io_overruns` counter in `Stats`.
+    pub fn rx_overruns(&self) -> u64 {
+        self.devices.iter().map(|a| a.device.rx_overruns()).sum()
+    }
+
     /// Borrows an attached device by name, for test assertions.
     pub fn device_by_name(&self, name: &str) -> Option<&dyn Device> {
         self.devices
@@ -282,6 +298,13 @@ impl RatePacer {
         // Scale to integers with a parts-per-billion denominator.
         let num = (mbps * 1e6 / 16.0 * cycle_ns).round() as u64;
         RatePacer::new(num, 1_000_000_000)
+    }
+
+    /// A pacer for a data rate in megabits/second of 16-bit words, taking
+    /// the cycle time from a [`ClockConfig`] — the one place the clock and
+    /// the line-rate math meet.
+    pub fn for_clock(mbps: f64, clock: &ClockConfig) -> Self {
+        Self::words_for_mbps(mbps, clock.cycle_ns())
     }
 
     /// Advances one cycle; returns how many events fire this cycle.
@@ -391,6 +414,17 @@ mod tests {
         let mut p = RatePacer::new(3, 80); // the 10 Mbit/s disk: 3 words/80 cycles
         let total: u64 = (0..8000).map(|_| p.step()).sum();
         assert_eq!(total, 300);
+    }
+
+    #[test]
+    fn overruns_sum_across_devices() {
+        let mut io = IoSystem::new();
+        io.attach(echo(9), 0x10, 1);
+        assert_eq!(io.rx_overruns(), 0);
+        let mut n = NetworkController::new(TaskId::new(13));
+        n.overruns = 7;
+        io.attach(Box::new(n), 0x30, 4);
+        assert_eq!(io.rx_overruns(), 7);
     }
 
     #[test]

@@ -2,16 +2,23 @@
 //! the kind the Alto pioneered and the Dorado inherited (§2, §3).
 //!
 //! Receive: arriving packets trickle words into a FIFO at line rate; the
-//! controller wakes its task per word and raises *attention* at packet end.
-//! Transmit: microcode pushes words; the controller drains them at line
-//! rate and "puts them on the wire" (a captured transcript here).
+//! controller wakes its task per word and raises *attention* while a
+//! complete packet is buffered.  Transmit: microcode pushes words; the
+//! controller drains them at line rate and "puts them on the wire" — a
+//! captured transcript that a cluster fabric can drain and deliver to a
+//! peer controller.
 
 use crate::{Device, RatePacer};
-use dorado_base::{TaskId, Word};
+use dorado_base::{ClockConfig, TaskId, Word};
 use std::collections::VecDeque;
 
+/// Receive FIFO capacity in words; arrivals beyond this are dropped and
+/// counted as overruns.
+pub const RX_FIFO_WORDS: usize = 64;
+
 /// Registers: 0 = data, 1 = status (rx FIFO occupancy), 2 = control
-/// (writing any value ends the current transmit packet).
+/// (writing any value ends the current transmit packet), 3 = length in
+/// words of the first *complete* packet in the rx FIFO (0 if none).
 #[derive(Debug)]
 pub struct NetworkController {
     task: TaskId,
@@ -20,43 +27,55 @@ pub struct NetworkController {
     inbound: VecDeque<Vec<Word>>,
     /// Words of the in-progress inbound packet already delivered.
     rx_pos: usize,
-    rx_fifo: VecDeque<Word>,
-    rx_end: bool,
+    /// Received words, each flagged if it is the last word of its packet.
+    rx_fifo: VecDeque<(Word, bool)>,
+    /// Complete packets currently buffered (count of end flags in the FIFO).
+    rx_boundaries: usize,
     /// Words promised to in-flight service.
     committed: usize,
     /// Words queued by microcode for transmit.
     tx_fifo: VecDeque<Word>,
     tx_current: Vec<Word>,
-    /// Fully transmitted packets (for verification).
+    /// Fully transmitted packets, until a fabric drains them.
     pub transmitted: Vec<Vec<Word>>,
     /// Words lost to rx FIFO overflow.
     pub overruns: u64,
+    tx_packets: u64,
+    tx_words: u64,
 }
 
 impl NetworkController {
     /// The default line rate in Mbit/s (the 3 Mbit/s experimental Ethernet).
     pub const DEFAULT_MBPS: f64 = 3.0;
 
-    /// Creates a controller wired to `task` at the default line rate and a
-    /// 60 ns cycle.
+    /// Creates a controller wired to `task` at the default line rate on
+    /// the default (multiwire, 60 ns) clock.
     pub fn new(task: TaskId) -> Self {
-        Self::with_rate(task, Self::DEFAULT_MBPS, 60.0)
+        Self::with_clock(task, Self::DEFAULT_MBPS, &ClockConfig::default())
     }
 
-    /// Creates a controller with an explicit line rate.
+    /// Creates a controller with an explicit line rate and cycle time.
     pub fn with_rate(task: TaskId, mbps: f64, cycle_ns: f64) -> Self {
+        Self::with_clock(task, mbps, &ClockConfig::with_cycle_ns(cycle_ns))
+    }
+
+    /// Creates a controller whose line rate is paced against `clock` — a
+    /// 50 ns stitchweld machine serves the same Mbit/s in more cycles.
+    pub fn with_clock(task: TaskId, mbps: f64, clock: &ClockConfig) -> Self {
         NetworkController {
             task,
-            pacer: RatePacer::words_for_mbps(mbps, cycle_ns),
+            pacer: RatePacer::for_clock(mbps, clock),
             inbound: VecDeque::new(),
             rx_pos: 0,
             rx_fifo: VecDeque::new(),
-            rx_end: false,
+            rx_boundaries: 0,
             committed: 0,
             tx_fifo: VecDeque::new(),
             tx_current: Vec::new(),
             transmitted: Vec::new(),
             overruns: 0,
+            tx_packets: 0,
+            tx_words: 0,
         }
     }
 
@@ -69,6 +88,22 @@ impl NetworkController {
     /// Whether any receive work remains.
     pub fn rx_busy(&self) -> bool {
         !self.inbound.is_empty() || !self.rx_fifo.is_empty()
+    }
+
+    /// Takes the packets transmitted since the last drain, oldest first —
+    /// the fabric-facing side of the wire.
+    pub fn drain_transmitted(&mut self) -> Vec<Vec<Word>> {
+        std::mem::take(&mut self.transmitted)
+    }
+
+    /// Packets fully transmitted since reset (survives draining).
+    pub fn tx_packets(&self) -> u64 {
+        self.tx_packets
+    }
+
+    /// Words fully transmitted since reset (survives draining).
+    pub fn tx_words(&self) -> u64 {
+        self.tx_words
     }
 }
 
@@ -86,7 +121,7 @@ impl Device for NetworkController {
     }
 
     fn wakeup(&self) -> bool {
-        self.rx_fifo.len() > self.committed || self.rx_end
+        self.rx_fifo.len() > self.committed || self.rx_boundaries > 0
     }
 
     fn observe_next(&mut self) {
@@ -97,20 +132,31 @@ impl Device for NetworkController {
 
     fn tick(&mut self) {
         for _ in 0..self.pacer.step() {
-            // Receive side.
+            // Receive side: one word of the in-progress packet arrives.
             if let Some(pkt) = self.inbound.front() {
-                if self.rx_pos < pkt.len() {
-                    if self.rx_fifo.len() >= 64 {
-                        self.overruns += 1;
-                    } else {
-                        self.rx_fifo.push_back(pkt[self.rx_pos]);
+                let last = self.rx_pos + 1 == pkt.len();
+                if self.rx_fifo.len() >= RX_FIFO_WORDS {
+                    self.overruns += 1;
+                    if last {
+                        // The truncated packet still ends: terminate it at
+                        // its last word that did fit (if any did).
+                        if let Some(back) = self.rx_fifo.back_mut() {
+                            if !back.1 {
+                                back.1 = true;
+                                self.rx_boundaries += 1;
+                            }
+                        }
                     }
-                    self.rx_pos += 1;
-                    if self.rx_pos == pkt.len() {
-                        self.inbound.pop_front();
-                        self.rx_pos = 0;
-                        self.rx_end = true;
+                } else {
+                    self.rx_fifo.push_back((pkt[self.rx_pos], last));
+                    if last {
+                        self.rx_boundaries += 1;
                     }
+                }
+                self.rx_pos += 1;
+                if last {
+                    self.inbound.pop_front();
+                    self.rx_pos = 0;
                 }
             }
             // Transmit side.
@@ -124,12 +170,17 @@ impl Device for NetworkController {
         match reg {
             0 => {
                 self.committed = self.committed.saturating_sub(1);
-                let w = self.rx_fifo.pop_front().unwrap_or(0);
-                if self.rx_fifo.is_empty() {
-                    self.rx_end = false;
+                let (w, end) = self.rx_fifo.pop_front().unwrap_or((0, false));
+                if end {
+                    self.rx_boundaries -= 1;
                 }
                 w
             }
+            3 => self
+                .rx_fifo
+                .iter()
+                .position(|&(_, end)| end)
+                .map_or(0, |p| (p + 1) as Word),
             _ => self.rx_fifo.len() as Word,
         }
     }
@@ -144,6 +195,8 @@ impl Device for NetworkController {
                     self.tx_current.push(w);
                 }
                 if !self.tx_current.is_empty() {
+                    self.tx_packets += 1;
+                    self.tx_words += self.tx_current.len() as u64;
                     self.transmitted.push(std::mem::take(&mut self.tx_current));
                 }
             }
@@ -152,7 +205,11 @@ impl Device for NetworkController {
     }
 
     fn attention(&self) -> bool {
-        self.rx_end
+        self.rx_boundaries > 0
+    }
+
+    fn rx_overruns(&self) -> u64 {
+        self.overruns
     }
 }
 
@@ -176,6 +233,7 @@ mod tests {
         assert!(n.wakeup());
         assert!(n.attention(), "end of packet raises attention");
         assert_eq!(n.input(1), 3);
+        assert_eq!(n.input(3), 3, "first complete packet is 3 words");
         assert_eq!((n.input(0), n.input(0), n.input(0)), (10, 20, 30));
         assert!(!n.attention(), "drained packet clears attention");
         assert!(!n.rx_busy());
@@ -197,6 +255,19 @@ mod tests {
         n.output(2, 0);
         assert_eq!(n.transmitted.len(), 2);
         assert_eq!(n.transmitted[1], vec![9]);
+        assert_eq!(n.tx_packets(), 2);
+        assert_eq!(n.tx_words(), 4);
+    }
+
+    #[test]
+    fn drain_takes_packets_but_keeps_counters() {
+        let mut n = net();
+        n.output(0, 7);
+        n.output(2, 0);
+        assert_eq!(n.drain_transmitted(), vec![vec![7]]);
+        assert!(n.drain_transmitted().is_empty());
+        assert_eq!(n.tx_packets(), 1);
+        assert_eq!(n.tx_words(), 1);
     }
 
     #[test]
@@ -207,6 +278,59 @@ mod tests {
             n.tick();
         }
         assert!(n.overruns > 0);
+        assert_eq!(n.rx_overruns(), n.overruns);
+        // The truncated packet still terminates: attention is up and the
+        // FIFO's last word carries the end flag.
+        assert!(n.attention());
+        assert_eq!(n.input(3), RX_FIFO_WORDS as Word);
+        for _ in 0..RX_FIFO_WORDS {
+            n.input(0);
+        }
+        assert!(!n.attention());
+    }
+
+    #[test]
+    fn attention_distinguishes_buffered_packets() {
+        let mut n = NetworkController::with_rate(TaskId::new(13), 300.0, 60.0);
+        n.inject_packet(vec![1, 2]);
+        n.inject_packet(vec![3]);
+        for _ in 0..40 {
+            n.tick();
+        }
+        // Both packets are in the FIFO; reg 3 sees only the first.
+        assert_eq!(n.input(1), 3);
+        assert_eq!(n.input(3), 2);
+        assert!(n.attention());
+        n.input(0);
+        n.input(0);
+        assert!(n.attention(), "second packet keeps attention up");
+        assert_eq!(n.input(3), 1);
+        n.input(0);
+        assert!(!n.attention());
+    }
+
+    #[test]
+    fn stitchweld_clock_paces_more_cycles_per_word() {
+        let mut fast = NetworkController::with_clock(
+            TaskId::new(13),
+            3.0,
+            &ClockConfig::stitchweld(),
+        );
+        let mut slow = net();
+        fast.inject_packet(vec![1]);
+        slow.inject_packet(vec![1]);
+        let arrival = |n: &mut NetworkController| {
+            let mut cycles = 0u64;
+            while !n.attention() {
+                n.tick();
+                cycles += 1;
+                assert!(cycles < 10_000);
+            }
+            cycles
+        };
+        // Same Mbit/s, shorter cycle: the 50 ns machine needs *more* cycles
+        // per word than the 60 ns machine.
+        assert!(arrival(&mut fast) > arrival(&mut slow));
     }
 
     #[test]

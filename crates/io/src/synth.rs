@@ -2,7 +2,7 @@
 //! sweeps (processor share vs device bandwidth, experiments E3/E4/E7).
 
 use crate::{Device, RatePacer};
-use dorado_base::{TaskId, Word, MUNCH_WORDS};
+use dorado_base::{ClockConfig, TaskId, Word, MUNCH_WORDS};
 use std::collections::VecDeque;
 
 /// Which I/O path the synthetic device exercises.
@@ -40,9 +40,14 @@ pub struct RateDevice {
 impl RateDevice {
     /// Creates a source at `mbps` megabits/second on the given path.
     pub fn new(task: TaskId, mbps: f64, cycle_ns: f64, path: SynthPath) -> Self {
+        Self::with_clock(task, mbps, &ClockConfig::with_cycle_ns(cycle_ns), path)
+    }
+
+    /// Creates a source whose rate is paced against `clock`.
+    pub fn with_clock(task: TaskId, mbps: f64, clock: &ClockConfig, path: SynthPath) -> Self {
         RateDevice {
             task,
-            pacer: RatePacer::words_for_mbps(mbps, cycle_ns),
+            pacer: RatePacer::for_clock(mbps, clock),
             path,
             fifo: VecDeque::new(),
             depth_words: 8 * MUNCH_WORDS,
@@ -147,6 +152,10 @@ impl Device for RateDevice {
             *slot = self.fifo.pop_front().unwrap_or(0);
         }
         munch
+    }
+
+    fn rx_overruns(&self) -> u64 {
+        self.overruns
     }
 }
 

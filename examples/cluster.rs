@@ -1,0 +1,75 @@
+//! A cluster of Dorados on one Ethernet fabric: client/server pairs run
+//! the closed-loop RPC microcode, one OS thread per machine, and the run
+//! ends with the cluster-wide report (per-machine task utilization plus
+//! fabric bandwidth).
+//!
+//! ```sh
+//! cargo run --example cluster
+//! cargo run --example cluster -- --machines=4 --epochs=300
+//! cargo run --example cluster -- --machines=2 --sequential
+//! ```
+
+use dorado::cluster::{ClusterConfig, ClusterSim};
+
+fn parse<T: std::str::FromStr>(flag: &str, value: &str) -> Result<T, String> {
+    value
+        .parse()
+        .map_err(|_| format!("{flag} needs a number, got `{value}`"))
+}
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    let mut machines = 4usize;
+    let mut epochs = 200u64;
+    let mut epoch_cycles = 2_000u64;
+    let mut window = 3u16;
+    let mut payload = 2u16;
+    let mut parallel = true;
+    for arg in std::env::args().skip(1) {
+        match arg.split_once('=') {
+            Some(("--machines", v)) => machines = parse("--machines", v)?,
+            Some(("--epochs", v)) => epochs = parse("--epochs", v)?,
+            Some(("--epoch-cycles", v)) => epoch_cycles = parse("--epoch-cycles", v)?,
+            Some(("--window", v)) => window = parse("--window", v)?,
+            Some(("--payload", v)) => payload = parse("--payload", v)?,
+            None if arg == "--sequential" => parallel = false,
+            None if arg == "--parallel" => parallel = true,
+            _ => return Err(format!("unknown argument `{arg}`").into()),
+        }
+    }
+
+    let mut cfg = ClusterConfig::pairs(machines, window, payload);
+    cfg.epoch_cycles = epoch_cycles;
+    println!(
+        "cluster: {machines} machine(s), {} epoch(s) x {epoch_cycles} cycles, closed-loop window {window}, payload {payload} word(s), {} execution\n",
+        epochs,
+        if parallel { "parallel" } else { "sequential" }
+    );
+    let mut sim = ClusterSim::build(&cfg)?;
+    let wall = std::time::Instant::now();
+    sim.run(epochs, parallel);
+    let wall = wall.elapsed();
+
+    println!("{}", sim.report());
+    let lat = sim.request_latencies();
+    let mean = if lat.is_empty() {
+        0.0
+    } else {
+        lat.iter().sum::<u64>() as f64 / lat.len() as f64
+    };
+    let max = lat.iter().copied().max().unwrap_or(0);
+    println!(
+        "workload: {} request(s) completed = {:.0} req/s of simulated time",
+        sim.responses(),
+        sim.requests_per_sec()
+    );
+    println!(
+        "latency: mean {mean:.0} cycles, max {max} cycles over {} matched round trip(s)",
+        lat.len()
+    );
+    println!(
+        "wall clock: {:.1} ms for {} simulated cycles per machine",
+        wall.as_secs_f64() * 1e3,
+        sim.cycles()
+    );
+    Ok(())
+}

@@ -6,6 +6,7 @@
 //! ```sh
 //! cargo run --example workstation
 //! cargo run --example workstation -- --trace trace.jsonl   # last 64Ki cycles as JSONL
+//! cargo run --example workstation -- --trace=trace.jsonl   # same, one-argument form
 //! ```
 
 use dorado::base::{BaseRegId, TaskId, VirtAddr, Word};
@@ -24,6 +25,13 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
             "--trace" => {
                 trace_path =
                     Some(args.next().ok_or("--trace needs a file argument")?);
+            }
+            s if s.starts_with("--trace=") => {
+                let path = &s["--trace=".len()..];
+                if path.is_empty() {
+                    return Err("--trace= needs a file argument".into());
+                }
+                trace_path = Some(path.to_string());
             }
             other => return Err(format!("unknown argument `{other}`").into()),
         }

@@ -15,6 +15,7 @@
 //! | [`io`]   | `dorado-io`   | device controllers and wakeup lines |
 //! | [`core`] | `dorado-core` | the processor and the complete machine |
 //! | [`emu`]  | `dorado-emu`  | Mesa/Lisp/BCPL/Smalltalk microcode, BitBlt |
+//! | [`cluster`] | `dorado-cluster` | Ethernet fabric, epoch-parallel executor, RPC workloads |
 //! | [`lang`] | `dorado-lang` | a Mesa-like source language compiling to the byte codes |
 //!
 //! # Example
@@ -43,6 +44,7 @@
 
 pub use dorado_asm as asm;
 pub use dorado_base as base;
+pub use dorado_cluster as cluster;
 pub use dorado_core as core;
 pub use dorado_emu as emu;
 pub use dorado_ifu as ifu;
