@@ -28,6 +28,7 @@ pub mod clock;
 pub mod hold;
 pub mod metrics;
 pub mod report;
+pub mod snap;
 pub mod stats;
 pub mod task;
 
@@ -37,6 +38,7 @@ pub use metrics::{
     CacheStats, FabricPortStats, FabricStats, IfuActivity, PortCounters, Requester, StorageStats,
 };
 pub use report::{ClusterReport, Report};
+pub use snap::{SnapError, Snapshot};
 pub use stats::Stats;
 pub use task::TaskId;
 

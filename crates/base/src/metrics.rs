@@ -330,6 +330,96 @@ impl FabricStats {
     }
 }
 
+use crate::snap::{Reader, SnapError, Snapshot, Writer};
+
+impl Snapshot for PortCounters {
+    fn save(&self, w: &mut Writer) {
+        w.u64(self.refs);
+        w.u64(self.hits);
+    }
+
+    fn restore(&mut self, r: &mut Reader<'_>) -> Result<(), SnapError> {
+        self.refs = r.u64()?;
+        self.hits = r.u64()?;
+        Ok(())
+    }
+}
+
+impl Snapshot for CacheStats {
+    fn save(&self, w: &mut Writer) {
+        self.processor.save(w);
+        self.ifu.save(w);
+        self.fast_io.save(w);
+    }
+
+    fn restore(&mut self, r: &mut Reader<'_>) -> Result<(), SnapError> {
+        self.processor.restore(r)?;
+        self.ifu.restore(r)?;
+        self.fast_io.restore(r)
+    }
+}
+
+impl Snapshot for StorageStats {
+    fn save(&self, w: &mut Writer) {
+        w.u64(self.refs);
+        w.u64(self.fills);
+        w.u64(self.writebacks);
+        w.u64(self.fast_fetches);
+        w.u64(self.fast_stores);
+        w.u64(self.busy_cycles);
+    }
+
+    fn restore(&mut self, r: &mut Reader<'_>) -> Result<(), SnapError> {
+        self.refs = r.u64()?;
+        self.fills = r.u64()?;
+        self.writebacks = r.u64()?;
+        self.fast_fetches = r.u64()?;
+        self.fast_stores = r.u64()?;
+        self.busy_cycles = r.u64()?;
+        Ok(())
+    }
+}
+
+impl Snapshot for IfuActivity {
+    fn save(&self, w: &mut Writer) {
+        w.u64(self.dispatches);
+        w.u64(self.fetches);
+        w.u64(self.jumps);
+        w.u64(self.buffer_bytes_accum);
+        w.u64(self.buffer_full_cycles);
+        w.u64(self.ticks);
+    }
+
+    fn restore(&mut self, r: &mut Reader<'_>) -> Result<(), SnapError> {
+        self.dispatches = r.u64()?;
+        self.fetches = r.u64()?;
+        self.jumps = r.u64()?;
+        self.buffer_bytes_accum = r.u64()?;
+        self.buffer_full_cycles = r.u64()?;
+        self.ticks = r.u64()?;
+        Ok(())
+    }
+}
+
+impl Snapshot for FabricPortStats {
+    fn save(&self, w: &mut Writer) {
+        w.u64(self.tx_packets);
+        w.u64(self.tx_words);
+        w.u64(self.rx_packets);
+        w.u64(self.rx_words);
+        w.u64(self.drops);
+    }
+
+    fn restore(&mut self, r: &mut Reader<'_>) -> Result<(), SnapError> {
+        self.tx_packets = r.u64()?;
+        self.tx_words = r.u64()?;
+        self.rx_packets = r.u64()?;
+        self.rx_words = r.u64()?;
+        self.drops = r.u64()?;
+        Ok(())
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;

@@ -231,6 +231,18 @@ impl std::fmt::Display for Report {
             self.clock.cycle_ns()
         )?;
 
+        // A percentage is undefined (not zero) when its denominator is
+        // empty: a zero-cycle window, or a ratio over zero events.  Render
+        // those cells as `--` rather than a misleading 0.0.
+        let pct = |defined: bool, v: f64| -> String {
+            if defined {
+                format!("{:>5.1}", 100.0 * v)
+            } else {
+                format!("{:>5}", "--")
+            }
+        };
+        let window = s.cycles > 0;
+
         writeln!(f, "-- task utilization --")?;
         writeln!(f, "task  executed      held   util%  hold%")?;
         for i in 0..NUM_TASKS {
@@ -240,17 +252,17 @@ impl std::fmt::Display for Report {
             let task = TaskId::new(i as u8);
             writeln!(
                 f,
-                "{i:>4}  {:>8}  {:>8}  {:>5.1}  {:>5.1}",
+                "{i:>4}  {:>8}  {:>8}  {}  {}",
                 s.executed[i],
                 s.held[i],
-                100.0 * self.utilization(task),
-                100.0 * self.held_share(task),
+                pct(window, self.utilization(task)),
+                pct(window, self.held_share(task)),
             )?;
         }
         writeln!(
             f,
-            "      busy {:.1}% of cycles, {} task switches",
-            100.0 * self.busy_fraction(),
+            "      busy {}% of cycles, {} task switches",
+            pct(window, self.busy_fraction()).trim_start(),
             s.task_switches
         )?;
 
@@ -300,13 +312,20 @@ impl std::fmt::Display for Report {
         if s.io_overruns > 0 {
             writeln!(f, "io rx overruns: {} word(s) dropped", s.io_overruns)?;
         }
+        let micro_per_macro = if s.macro_instructions > 0 {
+            format!("{:.1}", self.micro_per_macro())
+        } else {
+            "--".into()
+        };
+        let taken = if s.ifu.dispatches > 0 {
+            format!("{:.1}%", 100.0 * s.ifu.taken_branch_fraction())
+        } else {
+            "--".into()
+        };
         write!(
             f,
-            "ifu: {} dispatches, {:.1} micro/macro, taken-branch {:.1}%, buffer mean {:.1} B",
-            s.ifu.dispatches,
-            self.micro_per_macro(),
-            100.0 * s.ifu.taken_branch_fraction(),
-            s.ifu.mean_buffer_bytes()
+            "ifu: {} dispatches, {} micro/macro, taken-branch {}, buffer mean {:.1} B",
+            s.ifu.dispatches, micro_per_macro, taken, s.ifu.mean_buffer_bytes()
         )
     }
 }
@@ -415,14 +434,14 @@ impl std::fmt::Display for ClusterReport {
                     ));
                 }
             }
-            write!(f, "{label:>8}  busy {:>5.1}%{shares}", {
-                let busy = if s.cycles == 0 {
-                    0.0
-                } else {
-                    s.instructions() as f64 / s.cycles as f64
-                };
-                100.0 * busy
-            })?;
+            let busy = if s.cycles == 0 {
+                // A machine that owned no cycles in this window has no
+                // defined utilization — render `--`, not 0.0.
+                format!("{:>5}", "--")
+            } else {
+                format!("{:>5.1}", 100.0 * s.instructions() as f64 / s.cycles as f64)
+            };
+            write!(f, "{label:>8}  busy {busy}%{shares}")?;
             if s.io_overruns > 0 {
                 write!(f, "  (overruns {})", s.io_overruns)?;
             }
@@ -616,6 +635,50 @@ mod tests {
         assert!(text.contains("overruns 2"));
         assert!(text.contains("Mbit/s delivered"));
         assert!(text.contains("1 drop(s)"));
+    }
+
+    #[test]
+    fn zero_cycle_window_renders_dashes_not_percentages() {
+        // A counter block with activity but a zero-cycle window (as a
+        // hand-built diff or a degenerate measurement produces): every
+        // cycle-denominated percentage is undefined and must render `--`.
+        let mut s = Stats::new();
+        s.executed[0] = 5;
+        s.held[0] = 2;
+        let text = format!("{}", Report::new(s, ClockConfig::multiwire()));
+        assert!(text.contains("--"), "{text}");
+        assert!(text.contains("busy --% of cycles"), "{text}");
+        assert!(!text.contains("NaN"), "{text}");
+        assert!(!text.contains("inf"), "{text}");
+    }
+
+    #[test]
+    fn zero_dispatch_window_renders_dashes_for_ifu_ratios() {
+        let mut s = Stats::new();
+        s.cycles = 100;
+        s.executed[0] = 90;
+        let text = format!("{}", Report::new(s, ClockConfig::multiwire()));
+        assert!(text.contains("-- micro/macro"), "{text}");
+        assert!(text.contains("taken-branch --"), "{text}");
+        // A window with dispatches still renders real numbers.
+        let text = format!("{}", sample());
+        assert!(text.contains("10.0 micro/macro"), "{text}");
+        assert!(text.contains("taken-branch 20.0%"), "{text}");
+    }
+
+    #[test]
+    fn cluster_zero_cycle_machine_renders_dashes() {
+        let mut fabric = FabricStats::new(1, 89);
+        fabric.ports[0].tx_packets = 1;
+        let r = ClusterReport::new(
+            ClockConfig::multiwire(),
+            0,
+            vec![("m0".into(), Stats::new())],
+            fabric,
+        );
+        let text = format!("{r}");
+        assert!(text.contains("busy    --%"), "{text}");
+        assert!(!text.contains("NaN"), "{text}");
     }
 
     #[test]

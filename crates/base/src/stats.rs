@@ -8,6 +8,7 @@
 use crate::clock::{ClockConfig, Cycles};
 use crate::hold::HoldCause;
 use crate::metrics::{CacheStats, IfuActivity, StorageStats};
+use crate::snap::{Reader, SnapError, Snapshot, Writer};
 use crate::task::TaskId;
 use crate::NUM_TASKS;
 
@@ -148,6 +149,64 @@ impl Stats {
     }
 }
 
+impl Snapshot for Stats {
+    fn save(&self, w: &mut Writer) {
+        w.tag(b"STAT");
+        w.u64(self.cycles);
+        for v in self.executed {
+            w.u64(v);
+        }
+        for v in self.held {
+            w.u64(v);
+        }
+        for row in self.held_by {
+            for v in row {
+                w.u64(v);
+            }
+        }
+        w.u64(self.task_switches);
+        w.u64(self.cache_refs);
+        w.u64(self.cache_hits);
+        w.u64(self.storage_refs);
+        w.u64(self.fast_io_munches);
+        w.u64(self.slow_io_words);
+        w.u64(self.macro_instructions);
+        w.u64(self.ifu_fetches);
+        w.u64(self.io_overruns);
+        self.cache.save(w);
+        self.storage.save(w);
+        self.ifu.save(w);
+    }
+
+    fn restore(&mut self, r: &mut Reader<'_>) -> Result<(), SnapError> {
+        r.tag(b"STAT")?;
+        self.cycles = r.u64()?;
+        for v in &mut self.executed {
+            *v = r.u64()?;
+        }
+        for v in &mut self.held {
+            *v = r.u64()?;
+        }
+        for row in &mut self.held_by {
+            for v in row {
+                *v = r.u64()?;
+            }
+        }
+        self.task_switches = r.u64()?;
+        self.cache_refs = r.u64()?;
+        self.cache_hits = r.u64()?;
+        self.storage_refs = r.u64()?;
+        self.fast_io_munches = r.u64()?;
+        self.slow_io_words = r.u64()?;
+        self.macro_instructions = r.u64()?;
+        self.ifu_fetches = r.u64()?;
+        self.io_overruns = r.u64()?;
+        self.cache.restore(r)?;
+        self.storage.restore(r)?;
+        self.ifu.restore(r)
+    }
+}
+
 impl std::fmt::Display for Stats {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
         writeln!(
@@ -242,6 +301,38 @@ mod tests {
         assert_eq!(s.holds_for(HoldCause::MemData), 9);
         assert_eq!(s.holds_for(HoldCause::IfuDispatch), 3);
         assert_eq!(s.holds_for(HoldCause::MemPipe), 0);
+    }
+
+    #[test]
+    fn snapshot_round_trip_is_field_exact() {
+        use crate::snap::{restore_image, save_image};
+        let mut a = Stats::new();
+        a.cycles = 0x0123_4567_89ab;
+        for i in 0..NUM_TASKS {
+            a.executed[i] = (i as u64) * 3 + 1;
+            a.held[i] = (i as u64) * 7;
+            for c in 0..HoldCause::COUNT {
+                a.held_by[i][c] = (i * 16 + c) as u64;
+            }
+        }
+        a.task_switches = 11;
+        a.cache_refs = 12;
+        a.cache_hits = 13;
+        a.storage_refs = 14;
+        a.fast_io_munches = 15;
+        a.slow_io_words = 16;
+        a.macro_instructions = 17;
+        a.ifu_fetches = 18;
+        a.io_overruns = 19;
+        a.cache.processor.refs = 20;
+        a.cache.ifu.hits = 21;
+        a.cache.fast_io.refs = 22;
+        a.storage.busy_cycles = 23;
+        a.ifu.buffer_bytes_accum = 24;
+        let mut b = Stats::new();
+        restore_image(&mut b, &save_image(&a)).unwrap();
+        assert_eq!(a, b);
+        assert_eq!(save_image(&a), save_image(&b));
     }
 
     #[test]

@@ -22,8 +22,10 @@
 //! The third barrier keeps a fast thread's epoch-*e+1* sends out of a slow
 //! thread's epoch-*e* queue-cap accounting.
 
+use std::sync::atomic::{AtomicU64, AtomicUsize, Ordering};
 use std::sync::{Barrier, Mutex};
 
+use dorado_base::Word;
 use dorado_core::Dorado;
 use dorado_io::NetworkController;
 
@@ -55,25 +57,55 @@ fn exchange(m: &mut Dorado, port: usize, fabric: &mut Fabric, now: u64, phase_se
     }
 }
 
+/// A deterministic packet fault injector for [`run_sequential_mangled`]:
+/// called in the send phase with the boundary cycle, the source port, and
+/// the outbound packet (mutable, so it can corrupt words in place).
+/// Return `false` to drop the packet on the wire — it never reaches the
+/// fabric, so no port is charged and no delivery happens.
+pub type Mangle<'a> = &'a mut dyn FnMut(u64, usize, &mut Vec<Word>) -> bool;
+
 /// Runs every machine for `cfg.epochs` epochs on the calling thread.
 /// Machine *i* owns fabric port *i*.  `start_cycle` is the fabric
 /// timestamp of the first boundary minus one epoch (pass the value a
-/// previous call returned to continue).  Returns the final fabric time.
+/// previous call returned to continue).  Returns the final fabric time —
+/// early, without the remaining epochs, once every machine has halted
+/// (a halted machine's quantum is an instant no-op, so running on would
+/// spin through the remaining epochs doing nothing).
 pub fn run_sequential(
     machines: &mut [Dorado],
     fabric: &mut Fabric,
     cfg: EpochConfig,
     start_cycle: u64,
 ) -> u64 {
+    run_sequential_mangled(machines, fabric, cfg, start_cycle, &mut |_, _, _| true)
+}
+
+/// [`run_sequential`] with a fault injector applied to every outbound
+/// packet in the send phase.  `run_sequential(..)` is exactly
+/// `run_sequential_mangled(.., &mut |_, _, _| true)`.
+pub fn run_sequential_mangled(
+    machines: &mut [Dorado],
+    fabric: &mut Fabric,
+    cfg: EpochConfig,
+    start_cycle: u64,
+    mangle: Mangle<'_>,
+) -> u64 {
     assert_eq!(machines.len(), fabric.ports(), "one machine per port");
     let mut now = start_cycle;
     for _ in 0..cfg.epochs {
+        if !machines.is_empty() && machines.iter().all(Dorado::halted) {
+            break;
+        }
         now += cfg.epoch_cycles;
         for m in machines.iter_mut() {
             m.run_quantum(cfg.epoch_cycles);
         }
         for (port, m) in machines.iter_mut().enumerate() {
-            exchange(m, port, fabric, now, true);
+            for mut pkt in net(m).drain_transmitted() {
+                if mangle(now, port, &mut pkt) {
+                    fabric.send(port, pkt, now);
+                }
+            }
         }
         for (port, m) in machines.iter_mut().enumerate() {
             exchange(m, port, fabric, now, false);
@@ -83,9 +115,11 @@ pub fn run_sequential(
 }
 
 /// Like [`run_sequential`], but each machine runs on its own OS thread;
-/// the fabric is shared behind a mutex and the three phases are separated
-/// by barriers.  Produces bit-identical machine statistics and fabric
-/// counters.
+/// the fabric is shared behind a mutex and the phases are separated by
+/// barriers.  Produces bit-identical machine statistics and fabric
+/// counters, and terminates at the same (possibly early) fabric time when
+/// every machine has halted: each epoch opens with a halt census, and all
+/// threads leave together once the census reaches the machine count.
 pub fn run_parallel(
     machines: &mut [Dorado],
     fabric: &mut Fabric,
@@ -96,15 +130,39 @@ pub fn run_parallel(
     if machines.is_empty() {
         return start_cycle + cfg.epochs * cfg.epoch_cycles;
     }
-    let barrier = Barrier::new(machines.len());
+    let count = machines.len();
+    let barrier = Barrier::new(count);
     let shared = Mutex::new(fabric);
+    // Halt census for the epoch being entered, and the agreed final time.
+    let census = AtomicUsize::new(0);
+    let finished_at = AtomicU64::new(start_cycle + cfg.epochs * cfg.epoch_cycles);
     std::thread::scope(|s| {
         for (port, m) in machines.iter_mut().enumerate() {
             let barrier = &barrier;
             let shared = &shared;
+            let census = &census;
+            let finished_at = &finished_at;
             s.spawn(move || {
                 let mut now = start_cycle;
                 for _ in 0..cfg.epochs {
+                    if m.halted() {
+                        census.fetch_add(1, Ordering::SeqCst);
+                    }
+                    barrier.wait();
+                    let all_halted = census.load(Ordering::SeqCst) == count;
+                    barrier.wait();
+                    // Port 0 resets the census; its store is ordered
+                    // before everyone's next census increment by the run
+                    // barrier below, which port 0 must also pass.
+                    if port == 0 {
+                        census.store(0, Ordering::SeqCst);
+                        if all_halted {
+                            finished_at.store(now, Ordering::SeqCst);
+                        }
+                    }
+                    if all_halted {
+                        break;
+                    }
                     now += cfg.epoch_cycles;
                     m.run_quantum(cfg.epoch_cycles);
                     barrier.wait();
@@ -116,13 +174,15 @@ pub fn run_parallel(
             });
         }
     });
-    start_cycle + cfg.epochs * cfg.epoch_cycles
+    finished_at.load(Ordering::SeqCst)
 }
 
 #[cfg(test)]
 mod tests {
     use super::*;
     use crate::fabric::FabricConfig;
+    use dorado_emu::layout::{IOA_NET, TASK_EMU, TASK_NET};
+    use dorado_emu::SuiteBuilder;
 
     #[test]
     fn empty_cluster_advances_time() {
@@ -133,5 +193,46 @@ mod tests {
         };
         assert_eq!(run_sequential(&mut [], &mut fabric, cfg, 50), 750);
         assert_eq!(run_parallel(&mut [], &mut fabric, cfg, 50), 750);
+    }
+
+    /// Machines that halt on their first instruction (the suite's trap
+    /// handler), each carrying a network controller.
+    fn halting_cluster(n: usize) -> (Vec<Dorado>, Fabric) {
+        let suite = SuiteBuilder::new().assemble().unwrap();
+        let machines = (0..n)
+            .map(|_| {
+                suite
+                    .machine()
+                    .device(Box::new(NetworkController::new(TASK_NET)), IOA_NET, 4)
+                    .wire_ioaddress(TASK_NET, IOA_NET)
+                    .task_entry(TASK_EMU, "trap")
+                    .build()
+                    .unwrap()
+            })
+            .collect();
+        let addresses = (0..n).map(|i| 0x100 + i as Word).collect();
+        (machines, Fabric::new(&FabricConfig::default(), addresses))
+    }
+
+    #[test]
+    fn all_halted_cluster_terminates_early() {
+        let cfg = EpochConfig {
+            epoch_cycles: 500,
+            epochs: 1_000_000,
+        };
+        let (mut seq_machines, mut seq_fabric) = halting_cluster(3);
+        let t_seq = run_sequential(&mut seq_machines, &mut seq_fabric, cfg, 0);
+        assert_eq!(
+            t_seq, 500,
+            "everyone halts during epoch 1; census fires at epoch 2"
+        );
+        assert!(seq_machines.iter().all(Dorado::halted));
+
+        let (mut par_machines, mut par_fabric) = halting_cluster(3);
+        let t_par = run_parallel(&mut par_machines, &mut par_fabric, cfg, 0);
+        assert_eq!(t_par, t_seq, "both executors agree on the final time");
+        for (a, b) in seq_machines.iter().zip(&par_machines) {
+            assert_eq!(a.cycles(), b.cycles());
+        }
     }
 }

@@ -17,6 +17,7 @@
 //!
 //! [`NetworkController`]: dorado_io::NetworkController
 
+use dorado_base::snap::{Reader, SnapError, Snapshot, Writer};
 use dorado_base::{ClockConfig, FabricPortStats, FabricStats, Word};
 
 /// Fabric parameters.
@@ -240,6 +241,98 @@ impl Fabric {
     /// Packets delivered to `port`, oldest first.
     pub fn rx_log(&self, port: usize) -> &[PacketRecord] {
         &self.rx_log[port]
+    }
+}
+
+fn save_log(w: &mut Writer, log: &[PacketRecord]) {
+    w.len(log.len());
+    for r in log {
+        w.u64(r.cycle);
+        w.u16(r.peer);
+        w.u16(r.seq);
+        w.u64(r.len as u64);
+    }
+}
+
+fn restore_log(r: &mut Reader<'_>) -> Result<Vec<PacketRecord>, SnapError> {
+    let n = r.len()?;
+    let mut out = Vec::with_capacity(n);
+    for _ in 0..n {
+        out.push(PacketRecord {
+            cycle: r.u64()?,
+            peer: r.u16()?,
+            seq: r.u16()?,
+            len: r.u64()? as usize,
+        });
+    }
+    Ok(out)
+}
+
+impl Snapshot for Fabric {
+    fn save(&self, w: &mut Writer) {
+        w.tag(b"FABR");
+        w.word_seq(self.addresses.iter().copied());
+        w.len(self.in_flight.len());
+        for d in &self.in_flight {
+            w.u64(d.due);
+            w.u64(d.src as u64);
+            w.u64(d.seq);
+            w.u64(d.dst as u64);
+            w.word_seq(d.words.iter().copied());
+        }
+        w.u64(self.next_seq);
+        for p in &self.ports {
+            p.save(w);
+        }
+        for log in &self.tx_log {
+            save_log(w, log);
+        }
+        for log in &self.rx_log {
+            save_log(w, log);
+        }
+    }
+
+    fn restore(&mut self, r: &mut Reader<'_>) -> Result<(), SnapError> {
+        r.tag(b"FABR")?;
+        // Geometry (port addresses, and with them the port count) is
+        // configuration; word_cycles/latency/queue-limit travel with it.
+        if r.word_seq()? != self.addresses {
+            return Err(SnapError::Mismatch {
+                what: "fabric addresses",
+            });
+        }
+        let n = r.len()?;
+        self.in_flight.clear();
+        for _ in 0..n {
+            let due = r.u64()?;
+            let src = r.u64()? as usize;
+            let seq = r.u64()?;
+            let dst = r.u64()? as usize;
+            let words = r.word_seq()?;
+            if src >= self.addresses.len() || dst >= self.addresses.len() {
+                return Err(SnapError::Invalid {
+                    what: "fabric port index",
+                });
+            }
+            self.in_flight.push(Delivery {
+                due,
+                src,
+                seq,
+                dst,
+                words,
+            });
+        }
+        self.next_seq = r.u64()?;
+        for p in &mut self.ports {
+            p.restore(r)?;
+        }
+        for log in &mut self.tx_log {
+            *log = restore_log(r)?;
+        }
+        for log in &mut self.rx_log {
+            *log = restore_log(r)?;
+        }
+        Ok(())
     }
 }
 

@@ -13,7 +13,11 @@
 //!   run/send/collect phases, packets delivered only at epoch boundaries;
 //! * [`workload`] — the driver: echo/RPC servers and open- or closed-loop
 //!   clients built from the microcode in [`dorado_emu::cluster`], plus
-//!   throughput, latency, and utilization measurement.
+//!   throughput, latency, and utilization measurement;
+//! * [`inject`] — deterministic fault injection: crash a machine and
+//!   recover it from the last epoch-barrier checkpoint
+//!   ([`ClusterSim::save_checkpoint`]), or corrupt/drop packets on the
+//!   wire to exercise the drop accounting.
 //!
 //! [`Dorado`]: dorado_core::Dorado
 
@@ -22,8 +26,10 @@
 
 pub mod exec;
 pub mod fabric;
+pub mod inject;
 pub mod workload;
 
-pub use exec::{run_parallel, run_sequential, EpochConfig};
+pub use exec::{run_parallel, run_sequential, run_sequential_mangled, EpochConfig, Mangle};
 pub use fabric::{Fabric, FabricConfig, PacketRecord};
+pub use inject::{kill_and_recover, PacketMangler, Recovery};
 pub use workload::{ClusterConfig, ClusterSim, MachineSpec, Role};

@@ -16,6 +16,7 @@
 //! the fabric's per-port packet logs, and utilization/bandwidth from the
 //! [`ClusterReport`] assembled by [`ClusterSim::report`].
 
+use dorado_base::snap::{self, Reader, SnapError, Snapshot, Writer};
 use dorado_base::{ClusterReport, Word};
 use dorado_core::Dorado;
 use dorado_emu::cluster as ucode;
@@ -24,7 +25,7 @@ use dorado_emu::suite::SuiteError;
 use dorado_emu::SuiteBuilder;
 use dorado_io::NetworkController;
 
-use crate::exec::{run_parallel, run_sequential, EpochConfig};
+use crate::exec::{run_parallel, run_sequential, run_sequential_mangled, EpochConfig, Mangle};
 use crate::fabric::{Fabric, FabricConfig};
 
 /// What one machine in the cluster does.
@@ -221,6 +222,23 @@ impl ClusterSim {
         };
     }
 
+    /// Like [`ClusterSim::run`] (single-threaded), applying a fault
+    /// injector to every outbound packet in the send phase — see
+    /// [`run_sequential_mangled`].
+    pub fn run_mangled(&mut self, epochs: u64, mangle: Mangle<'_>) {
+        let cfg = EpochConfig {
+            epoch_cycles: self.epoch_cycles,
+            epochs,
+        };
+        self.cycles = run_sequential_mangled(
+            &mut self.machines,
+            &mut self.fabric,
+            cfg,
+            self.cycles,
+            mangle,
+        );
+    }
+
     /// Common simulated time elapsed, in microcycles.
     pub fn cycles(&self) -> u64 {
         self.cycles
@@ -290,6 +308,27 @@ impl ClusterSim {
         self.responses() as f64 / secs
     }
 
+    /// Serializes the whole cluster's dynamic state — the clock value,
+    /// every machine, and the fabric (in-flight packets, counters, logs) —
+    /// into one checkpoint image.  Configuration (microcode, labels,
+    /// roles, epoch length) is not captured; restore into a cluster built
+    /// from the same [`ClusterConfig`].
+    pub fn save_checkpoint(&self) -> Vec<u8> {
+        snap::save_image(self)
+    }
+
+    /// Restores a checkpoint produced by [`ClusterSim::save_checkpoint`]
+    /// into this cluster, in place.
+    ///
+    /// # Errors
+    ///
+    /// Returns a [`SnapError`] if the image is corrupt or was taken from a
+    /// cluster with a different shape (machine count, fabric addresses,
+    /// device wiring).
+    pub fn restore_checkpoint(&mut self, bytes: &[u8]) -> Result<(), SnapError> {
+        snap::restore_image(self, bytes)
+    }
+
     /// The cluster-wide report: per-machine task utilization plus fabric
     /// bandwidth and drops.
     pub fn report(&self) -> ClusterReport {
@@ -300,6 +339,32 @@ impl ClusterSim {
             .map(|(label, m)| (label.clone(), m.stats()))
             .collect();
         ClusterReport::new(self.clock, self.cycles, machines, self.fabric.stats())
+    }
+}
+
+impl Snapshot for ClusterSim {
+    fn save(&self, w: &mut Writer) {
+        w.tag(b"CLUS");
+        w.u64(self.cycles);
+        w.len(self.machines.len());
+        for m in &self.machines {
+            m.save(w);
+        }
+        self.fabric.save(w);
+    }
+
+    fn restore(&mut self, r: &mut Reader<'_>) -> Result<(), SnapError> {
+        r.tag(b"CLUS")?;
+        self.cycles = r.u64()?;
+        if r.len()? != self.machines.len() {
+            return Err(SnapError::Mismatch {
+                what: "machine count",
+            });
+        }
+        for m in &mut self.machines {
+            m.restore(r)?;
+        }
+        self.fabric.restore(r)
     }
 }
 
@@ -349,6 +414,41 @@ mod tests {
         // client still counts them as responses.
         assert!(sim.responses() > 0);
         assert!(sim.requests_per_sec() > 0.0);
+    }
+
+    #[test]
+    fn checkpoint_resume_is_bit_identical() {
+        let cfg = ClusterConfig::pairs(2, 2, 1);
+        let mut sim = ClusterSim::build(&cfg).unwrap();
+        sim.run(40, false);
+        let cp = sim.save_checkpoint();
+        sim.run(40, false);
+        let straight_report = sim.report();
+        let straight_image = sim.save_checkpoint();
+
+        sim.restore_checkpoint(&cp).unwrap();
+        sim.run(40, false);
+        assert_eq!(sim.report(), straight_report);
+        assert_eq!(sim.save_checkpoint(), straight_image);
+
+        // A fresh cluster of the same shape accepts the checkpoint too.
+        let mut fresh = ClusterSim::build(&cfg).unwrap();
+        fresh.restore_checkpoint(&cp).unwrap();
+        fresh.run(40, false);
+        assert_eq!(fresh.save_checkpoint(), straight_image);
+    }
+
+    #[test]
+    fn checkpoint_rejects_wrong_shape() {
+        let sim = ClusterSim::build(&ClusterConfig::pairs(2, 2, 1)).unwrap();
+        let cp = sim.save_checkpoint();
+        let mut other = ClusterSim::build(&ClusterConfig::pairs(4, 2, 1)).unwrap();
+        assert!(matches!(
+            other.restore_checkpoint(&cp),
+            Err(SnapError::Mismatch {
+                what: "machine count"
+            })
+        ));
     }
 
     #[test]

@@ -1,6 +1,7 @@
 //! The control section (§6.2): task-specific program counters, subroutine
 //! linkage, and the task arbitration pipeline.
 
+use dorado_base::snap::{Reader, SnapError, Snapshot, Writer};
 use dorado_base::task::TaskSet;
 use dorado_base::{MicroAddr, TaskId, NUM_TASKS};
 
@@ -94,6 +95,41 @@ impl ControlSection {
         } else {
             self.this_task
         }
+    }
+}
+
+impl Snapshot for ControlSection {
+    fn save(&self, w: &mut Writer) {
+        w.tag(b"CTRL");
+        for &pc in &self.tpc {
+            w.u16(pc.raw());
+        }
+        for &l in &self.link {
+            w.u16(l.raw());
+        }
+        w.u16(self.ready.bits());
+        w.u8(self.this_task.number());
+        w.u16(self.this_pc.raw());
+        w.u8(self.stage1.task.number());
+        w.u16(self.stage1.pc.raw());
+    }
+
+    fn restore(&mut self, r: &mut Reader<'_>) -> Result<(), SnapError> {
+        r.tag(b"CTRL")?;
+        for pc in &mut self.tpc {
+            *pc = MicroAddr::new(r.u16()?);
+        }
+        for l in &mut self.link {
+            *l = MicroAddr::new(r.u16()?);
+        }
+        self.ready = TaskSet::from_bits(r.u16()?);
+        self.this_task = TaskId::new(r.u8()?);
+        self.this_pc = MicroAddr::new(r.u16()?);
+        self.stage1 = Stage1 {
+            task: TaskId::new(r.u8()?),
+            pc: MicroAddr::new(r.u16()?),
+        };
+        Ok(())
     }
 }
 

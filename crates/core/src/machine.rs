@@ -21,6 +21,7 @@ use dorado_asm::{
     alu_eval, shifter_output, AluFunction, AsmError, BSel, Cond, ControlOp, FfOp, MaskMode,
     Microword, PlacedProgram, ShiftCtl,
 };
+use dorado_base::snap::{Reader, SnapError, Snapshot, Writer};
 use dorado_base::{
     ClockConfig, MicroAddr, Report, Stats, TaskId, Word, MICROSTORE_SIZE, NUM_TASKS, PAGE_SIZE,
 };
@@ -1061,4 +1062,86 @@ impl Dorado {
 
     /// Number of microcode tasks.
     pub const NUM_TASKS: usize = NUM_TASKS;
+}
+
+impl Snapshot for Dorado {
+    /// Saves every piece of dynamic machine state: datapath, control
+    /// section, memory system (cache, storage, in-flight fetches), IFU,
+    /// devices, statistics, and the deferred-writeback queue.
+    ///
+    /// Configuration — the microcode image, decode tables, clock, tasking
+    /// mode, breakpoints, and the tracer — stays with the live object: a
+    /// snapshot restores onto a machine built the same way, and
+    /// `restore` rejects images whose shape disagrees.
+    fn save(&self, w: &mut Writer) {
+        w.tag(b"DRDO");
+        self.dp.save(w);
+        self.control.save(w);
+        self.mem.save(w);
+        self.ifu.save(w);
+        self.io.save(w);
+        self.stats.save(w);
+        w.u64(self.slow_io_words);
+        w.bool(self.halted);
+        w.u64(self.consecutive_holds);
+        w.len(self.pending_wb.len());
+        for wb in &self.pending_wb {
+            match *wb {
+                WbWrite::T(task, v) => {
+                    w.u8(0);
+                    w.u8(task.number());
+                    w.u16(v);
+                }
+                WbWrite::Rm(i, v) => {
+                    w.u8(1);
+                    w.u64(i as u64);
+                    w.u16(v);
+                }
+                WbWrite::Stack(i, v) => {
+                    w.u8(2);
+                    w.u64(i as u64);
+                    w.u16(v);
+                }
+            }
+        }
+    }
+
+    fn restore(&mut self, r: &mut Reader<'_>) -> Result<(), SnapError> {
+        r.tag(b"DRDO")?;
+        self.dp.restore(r)?;
+        self.control.restore(r)?;
+        self.mem.restore(r)?;
+        self.ifu.restore(r)?;
+        self.io.restore(r)?;
+        self.stats.restore(r)?;
+        self.slow_io_words = r.u64()?;
+        self.halted = r.bool()?;
+        self.consecutive_holds = r.u64()?;
+        let n = r.len()?;
+        self.pending_wb.clear();
+        for _ in 0..n {
+            let wb = match r.u8()? {
+                0 => WbWrite::T(TaskId::new(r.u8()?), r.u16()?),
+                1 => {
+                    let i = r.u64()? as usize;
+                    if i >= self.dp.rm.len() {
+                        return Err(SnapError::Invalid { what: "wb rm index" });
+                    }
+                    WbWrite::Rm(i, r.u16()?)
+                }
+                2 => {
+                    let i = r.u64()? as usize;
+                    if i >= self.dp.stack.len() {
+                        return Err(SnapError::Invalid {
+                            what: "wb stack index",
+                        });
+                    }
+                    WbWrite::Stack(i, r.u16()?)
+                }
+                _ => return Err(SnapError::Invalid { what: "wb kind" }),
+            };
+            self.pending_wb.push(wb);
+        }
+        Ok(())
+    }
 }

@@ -52,6 +52,7 @@
 
 use std::collections::VecDeque;
 
+use dorado_base::snap::{Reader, SnapError, Snapshot, Writer};
 use dorado_base::{MicroAddr, VirtAddr, Word};
 use dorado_mem::MemorySystem;
 
@@ -343,6 +344,32 @@ impl Ifu {
     }
 }
 
+impl Snapshot for Ifu {
+    fn save(&self, w: &mut Writer) {
+        w.tag(b"IFU ");
+        w.u32(self.code_base.0);
+        w.u32(self.pc);
+        w.byte_seq(self.buffer.iter().copied());
+        w.u32(self.fetch_byte);
+        w.u32(self.discard);
+        w.word_seq(self.operands.iter().copied());
+        self.counters.save(w);
+    }
+
+    fn restore(&mut self, r: &mut Reader<'_>) -> Result<(), SnapError> {
+        r.tag(b"IFU ")?;
+        // The decode table is configuration, not dynamic state; it stays
+        // with the live object.
+        self.code_base = VirtAddr::new(r.u32()?);
+        self.pc = r.u32()?;
+        self.buffer = r.byte_seq()?.into();
+        self.fetch_byte = r.u32()?;
+        self.discard = r.u32()?;
+        self.operands = r.word_seq()?.into();
+        self.counters.restore(r)
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -506,6 +533,50 @@ mod tests {
         assert!(c.mean_buffer_bytes() > 0.0);
         assert!(c.buffer_full_fraction() > 0.5, "{}", c.buffer_full_fraction());
         assert_eq!(c.jumps, 1);
+    }
+
+    #[test]
+    fn snapshot_mid_prefetch_resumes_identically() {
+        use dorado_base::snap::{restore_image, save_image};
+        let (mut mem, mut ifu) = setup(&[0x10, 0xff, 0x22, 0x05, 0x05, 0x00]);
+        ifu.set_decode_entry(
+            0x10,
+            DecodeEntry::new(MicroAddr::new(8))
+                .with_operand(OperandKind::SignedByte)
+                .with_operand(OperandKind::Byte),
+        );
+        ifu.set_decode_entry(0x05, DecodeEntry::new(MicroAddr::new(1)));
+        ifu.jump(0);
+        // Stop mid-prefetch, with bytes buffered and possibly a fetch in
+        // flight on the memory side.
+        for _ in 0..3 {
+            ifu.tick(&mut mem);
+            mem.tick();
+        }
+        let ifu_img = save_image(&ifu);
+        let mem_img = save_image(&mem);
+
+        // The restored IFU keeps its own (live) decode table.
+        let mut ifu2 = Ifu::new();
+        ifu2.set_decode_entry(
+            0x10,
+            DecodeEntry::new(MicroAddr::new(8))
+                .with_operand(OperandKind::SignedByte)
+                .with_operand(OperandKind::Byte),
+        );
+        ifu2.set_decode_entry(0x05, DecodeEntry::new(MicroAddr::new(1)));
+        restore_image(&mut ifu2, &ifu_img).unwrap();
+        let mut mem2 = MemorySystem::new(MemConfig::default());
+        restore_image(&mut mem2, &mem_img).unwrap();
+
+        assert_eq!(run_to_dispatch(&mut mem, &mut ifu), MicroAddr::new(8));
+        assert_eq!(run_to_dispatch(&mut mem2, &mut ifu2), MicroAddr::new(8));
+        assert_eq!(ifu.ifudata(), ifu2.ifudata());
+        assert_eq!(ifu.ifudata(), ifu2.ifudata());
+        assert_eq!(ifu.pc(), ifu2.pc());
+        assert_eq!(run_to_dispatch(&mut mem, &mut ifu), MicroAddr::new(1));
+        assert_eq!(run_to_dispatch(&mut mem2, &mut ifu2), MicroAddr::new(1));
+        assert_eq!(save_image(&ifu), save_image(&ifu2));
     }
 
     #[test]

@@ -4,6 +4,7 @@
 //! processor").
 
 use crate::{Device, RatePacer};
+use dorado_base::snap::{Reader, SnapError, Snapshot, Writer};
 use dorado_base::{ClockConfig, TaskId, Word};
 use std::collections::VecDeque;
 
@@ -215,6 +216,67 @@ impl Device for DiskController {
 
     fn rx_overruns(&self) -> u64 {
         self.overruns
+    }
+
+    fn snapshot_save(&self, w: &mut Writer) {
+        Snapshot::save(self, w);
+    }
+
+    fn snapshot_restore(&mut self, r: &mut Reader<'_>) -> Result<(), SnapError> {
+        Snapshot::restore(self, r)
+    }
+}
+
+impl Snapshot for DiskController {
+    fn save(&self, w: &mut Writer) {
+        w.tag(b"DISK");
+        w.u8(self.task.number());
+        self.pacer.save(w);
+        match self.mode {
+            Mode::Idle => w.u8(0),
+            Mode::Reading { remaining } => {
+                w.u8(1);
+                w.u64(remaining as u64);
+            }
+            Mode::Writing { remaining } => {
+                w.u8(2);
+                w.u64(remaining as u64);
+            }
+        }
+        w.word_seq(self.fifo.iter().copied());
+        w.word_seq(self.platter.iter().copied());
+        w.u64(self.head as u64);
+        w.u64(self.committed as u64);
+        w.u64(self.overruns);
+        w.u64(self.underruns);
+    }
+
+    fn restore(&mut self, r: &mut Reader<'_>) -> Result<(), SnapError> {
+        r.tag(b"DISK")?;
+        if r.u8()? != self.task.number() {
+            return Err(SnapError::Mismatch { what: "disk task" });
+        }
+        self.pacer.restore(r)?;
+        self.mode = match r.u8()? {
+            0 => Mode::Idle,
+            1 => Mode::Reading {
+                remaining: r.u64()? as usize,
+            },
+            2 => Mode::Writing {
+                remaining: r.u64()? as usize,
+            },
+            _ => return Err(SnapError::Invalid { what: "disk mode" }),
+        };
+        self.fifo = r.word_seq()?.into();
+        self.platter = r.word_seq()?;
+        self.head = r.u64()? as usize;
+        if self.head >= self.platter.len() {
+            return Err(SnapError::Invalid { what: "disk head" });
+        }
+        self.committed = r.u64()? as usize;
+        self.overruns = r.u64()?;
+        self.underruns = r.u64()?;
+        Ok(())
     }
 }
 

@@ -9,6 +9,7 @@
 //! dual-path structure of Figure 8.
 
 use crate::{Device, RatePacer};
+use dorado_base::snap::{Reader, SnapError, Snapshot, Writer};
 use dorado_base::{ClockConfig, TaskId, Word, MUNCH_WORDS};
 use std::collections::VecDeque;
 
@@ -149,6 +150,45 @@ impl Device for DisplayController {
         for &w in munch {
             self.fifo.push_back(w);
         }
+    }
+
+    fn snapshot_save(&self, w: &mut Writer) {
+        Snapshot::save(self, w);
+    }
+
+    fn snapshot_restore(&mut self, r: &mut Reader<'_>) -> Result<(), SnapError> {
+        Snapshot::restore(self, r)
+    }
+}
+
+impl Snapshot for DisplayController {
+    fn save(&self, w: &mut Writer) {
+        w.tag(b"DISP");
+        w.u8(self.task.number());
+        self.pacer.save(w);
+        w.word_seq(self.fifo.iter().copied());
+        w.bool(self.active);
+        w.u64(self.committed as u64);
+        w.u64(self.painted);
+        w.u64(self.underruns);
+        w.word_seq(self.screen.iter().copied());
+    }
+
+    fn restore(&mut self, r: &mut Reader<'_>) -> Result<(), SnapError> {
+        r.tag(b"DISP")?;
+        if r.u8()? != self.task.number() {
+            return Err(SnapError::Mismatch {
+                what: "display task",
+            });
+        }
+        self.pacer.restore(r)?;
+        self.fifo = r.word_seq()?.into();
+        self.active = r.bool()?;
+        self.committed = r.u64()? as usize;
+        self.painted = r.u64()?;
+        self.underruns = r.u64()?;
+        self.screen = r.word_seq()?;
+        Ok(())
     }
 }
 

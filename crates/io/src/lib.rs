@@ -30,6 +30,7 @@ pub use display::DisplayController;
 pub use network::NetworkController;
 pub use synth::RateDevice;
 
+use dorado_base::snap::{Reader, SnapError, Snapshot, Writer};
 use dorado_base::task::TaskSet;
 use dorado_base::{ClockConfig, TaskId, Word, MUNCH_WORDS};
 
@@ -98,6 +99,25 @@ pub trait Device: std::fmt::Debug + std::any::Any + Send {
     /// receive path report zero.
     fn rx_overruns(&self) -> u64 {
         0
+    }
+
+    /// Serializes the device's dynamic state into a snapshot (the
+    /// object-safe face of [`Snapshot::save`]).  Stateless devices may
+    /// keep the default no-op, paired with the default
+    /// [`Device::snapshot_restore`].
+    fn snapshot_save(&self, w: &mut Writer) {
+        let _ = w;
+    }
+
+    /// Restores the device's dynamic state from a snapshot.
+    ///
+    /// # Errors
+    ///
+    /// Returns a [`SnapError`] if the image is malformed or was taken from
+    /// a device with different configuration.
+    fn snapshot_restore(&mut self, r: &mut Reader<'_>) -> Result<(), SnapError> {
+        let _ = r;
+        Ok(())
     }
 }
 
@@ -321,6 +341,64 @@ impl RatePacer {
     }
 }
 
+impl Snapshot for RatePacer {
+    fn save(&self, w: &mut Writer) {
+        w.u64(self.num);
+        w.u64(self.den);
+        w.u64(self.acc);
+    }
+
+    fn restore(&mut self, r: &mut Reader<'_>) -> Result<(), SnapError> {
+        // num/den are configuration; only the accumulator phase is dynamic.
+        if r.u64()? != self.num || r.u64()? != self.den {
+            return Err(SnapError::Mismatch { what: "pacer rate" });
+        }
+        self.acc = r.u64()?;
+        Ok(())
+    }
+}
+
+impl Snapshot for IoSystem {
+    fn save(&self, w: &mut Writer) {
+        w.tag(b"IOSY");
+        match self.last_next {
+            Some(t) => {
+                w.bool(true);
+                w.u8(t.number());
+            }
+            None => w.bool(false),
+        }
+        w.len(self.devices.len());
+        for a in &self.devices {
+            w.byte_seq(a.device.name().bytes());
+            a.device.snapshot_save(w);
+        }
+    }
+
+    fn restore(&mut self, r: &mut Reader<'_>) -> Result<(), SnapError> {
+        r.tag(b"IOSY")?;
+        self.last_next = if r.bool()? {
+            Some(TaskId::new(r.u8()?))
+        } else {
+            None
+        };
+        if r.len()? != self.devices.len() {
+            return Err(SnapError::Mismatch {
+                what: "device count",
+            });
+        }
+        for a in &mut self.devices {
+            if r.byte_seq()? != a.device.name().as_bytes() {
+                return Err(SnapError::Mismatch {
+                    what: "device order",
+                });
+            }
+            a.device.snapshot_restore(r)?;
+        }
+        Ok(())
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -425,6 +503,51 @@ mod tests {
         n.overruns = 7;
         io.attach(Box::new(n), 0x30, 4);
         assert_eq!(io.rx_overruns(), 7);
+    }
+
+    #[test]
+    fn io_system_snapshot_round_trips_attached_devices() {
+        use dorado_base::snap::{restore_image, save_image};
+        let build = || {
+            let mut io = IoSystem::new();
+            io.attach(Box::new(NetworkController::new(TaskId::new(13))), 0x30, 4);
+            io.attach(Box::new(DiskController::new(TaskId::new(11))), 0x10, 2);
+            io
+        };
+        let mut a = build();
+        if let Some(n) = a.device_by_name_mut("network") {
+            n.as_any_mut()
+                .downcast_mut::<NetworkController>()
+                .unwrap()
+                .inject_packet(vec![5, 6, 7]);
+        }
+        for _ in 0..500 {
+            a.tick();
+        }
+        a.observe_next(TaskId::new(13));
+        let img = save_image(&a);
+
+        let mut b = build();
+        restore_image(&mut b, &img).unwrap();
+        assert_eq!(save_image(&b), img);
+        assert_eq!(a.wakeups(), b.wakeups());
+        for _ in 0..100 {
+            a.tick();
+            b.tick();
+        }
+        assert_eq!(a.input(0x30), b.input(0x30));
+        assert_eq!(save_image(&a), save_image(&b));
+
+        // Device-order mismatch is rejected.
+        let mut wrong = IoSystem::new();
+        wrong.attach(Box::new(DiskController::new(TaskId::new(11))), 0x10, 2);
+        wrong.attach(Box::new(NetworkController::new(TaskId::new(13))), 0x30, 4);
+        assert_eq!(
+            restore_image(&mut wrong, &img).unwrap_err(),
+            SnapError::Mismatch {
+                what: "device order"
+            }
+        );
     }
 
     #[test]

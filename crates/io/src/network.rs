@@ -9,6 +9,7 @@
 //! peer controller.
 
 use crate::{Device, RatePacer};
+use dorado_base::snap::{Reader, SnapError, Snapshot, Writer};
 use dorado_base::{ClockConfig, TaskId, Word};
 use std::collections::VecDeque;
 
@@ -27,6 +28,9 @@ pub struct NetworkController {
     inbound: VecDeque<Vec<Word>>,
     /// Words of the in-progress inbound packet already delivered.
     rx_pos: usize,
+    /// Words of the in-progress inbound packet that actually entered the
+    /// FIFO (as opposed to being dropped to overrun).
+    rx_accepted: usize,
     /// Received words, each flagged if it is the last word of its packet.
     rx_fifo: VecDeque<(Word, bool)>,
     /// Complete packets currently buffered (count of end flags in the FIFO).
@@ -40,6 +44,9 @@ pub struct NetworkController {
     pub transmitted: Vec<Vec<Word>>,
     /// Words lost to rx FIFO overflow.
     pub overruns: u64,
+    /// Packets lost *entirely* to overrun: every word was dropped, so no
+    /// terminated word — and therefore no boundary — ever reached the FIFO.
+    pub truncated_packets: u64,
     tx_packets: u64,
     tx_words: u64,
 }
@@ -67,6 +74,7 @@ impl NetworkController {
             pacer: RatePacer::for_clock(mbps, clock),
             inbound: VecDeque::new(),
             rx_pos: 0,
+            rx_accepted: 0,
             rx_fifo: VecDeque::new(),
             rx_boundaries: 0,
             committed: 0,
@@ -74,6 +82,7 @@ impl NetworkController {
             tx_current: Vec::new(),
             transmitted: Vec::new(),
             overruns: 0,
+            truncated_packets: 0,
             tx_packets: 0,
             tx_words: 0,
         }
@@ -138,17 +147,27 @@ impl Device for NetworkController {
                 if self.rx_fifo.len() >= RX_FIFO_WORDS {
                     self.overruns += 1;
                     if last {
-                        // The truncated packet still ends: terminate it at
-                        // its last word that did fit (if any did).
-                        if let Some(back) = self.rx_fifo.back_mut() {
-                            if !back.1 {
-                                back.1 = true;
-                                self.rx_boundaries += 1;
+                        if self.rx_accepted > 0 {
+                            // The truncated packet still ends: terminate it
+                            // at its last word that did fit.  That word is
+                            // the FIFO's back — this packet's words are the
+                            // most recent pushes.
+                            if let Some(back) = self.rx_fifo.back_mut() {
+                                if !back.1 {
+                                    back.1 = true;
+                                    self.rx_boundaries += 1;
+                                }
                             }
+                        } else {
+                            // Every word was dropped: no terminated word is
+                            // in the FIFO to carry a boundary, so the packet
+                            // would otherwise vanish without a trace.
+                            self.truncated_packets += 1;
                         }
                     }
                 } else {
                     self.rx_fifo.push_back((pkt[self.rx_pos], last));
+                    self.rx_accepted += 1;
                     if last {
                         self.rx_boundaries += 1;
                     }
@@ -157,6 +176,7 @@ impl Device for NetworkController {
                 if last {
                     self.inbound.pop_front();
                     self.rx_pos = 0;
+                    self.rx_accepted = 0;
                 }
             }
             // Transmit side.
@@ -210,6 +230,81 @@ impl Device for NetworkController {
 
     fn rx_overruns(&self) -> u64 {
         self.overruns
+    }
+
+    fn snapshot_save(&self, w: &mut Writer) {
+        Snapshot::save(self, w);
+    }
+
+    fn snapshot_restore(&mut self, r: &mut Reader<'_>) -> Result<(), SnapError> {
+        Snapshot::restore(self, r)
+    }
+}
+
+impl Snapshot for NetworkController {
+    fn save(&self, w: &mut Writer) {
+        w.tag(b"NETC");
+        w.u8(self.task.number());
+        self.pacer.save(w);
+        w.len(self.inbound.len());
+        for pkt in &self.inbound {
+            w.word_seq(pkt.iter().copied());
+        }
+        w.u64(self.rx_pos as u64);
+        w.u64(self.rx_accepted as u64);
+        w.len(self.rx_fifo.len());
+        for &(word, end) in &self.rx_fifo {
+            w.u16(word);
+            w.bool(end);
+        }
+        w.u64(self.rx_boundaries as u64);
+        w.u64(self.committed as u64);
+        w.word_seq(self.tx_fifo.iter().copied());
+        w.word_seq(self.tx_current.iter().copied());
+        w.len(self.transmitted.len());
+        for pkt in &self.transmitted {
+            w.word_seq(pkt.iter().copied());
+        }
+        w.u64(self.overruns);
+        w.u64(self.truncated_packets);
+        w.u64(self.tx_packets);
+        w.u64(self.tx_words);
+    }
+
+    fn restore(&mut self, r: &mut Reader<'_>) -> Result<(), SnapError> {
+        r.tag(b"NETC")?;
+        if r.u8()? != self.task.number() {
+            return Err(SnapError::Mismatch { what: "network task" });
+        }
+        self.pacer.restore(r)?;
+        let inbound = r.len()?;
+        self.inbound.clear();
+        for _ in 0..inbound {
+            self.inbound.push_back(r.word_seq()?);
+        }
+        self.rx_pos = r.u64()? as usize;
+        self.rx_accepted = r.u64()? as usize;
+        let fifo = r.len()?;
+        self.rx_fifo.clear();
+        for _ in 0..fifo {
+            let word = r.u16()?;
+            let end = r.bool()?;
+            self.rx_fifo.push_back((word, end));
+        }
+        self.rx_boundaries = r.u64()? as usize;
+        self.committed = r.u64()? as usize;
+        self.tx_fifo = r.word_seq()?.into();
+        self.tx_current = r.word_seq()?;
+        let transmitted = r.len()?;
+        self.transmitted.clear();
+        for _ in 0..transmitted {
+            self.transmitted.push(r.word_seq()?);
+        }
+        self.overruns = r.u64()?;
+        self.truncated_packets = r.u64()?;
+        self.tx_packets = r.u64()?;
+        self.tx_words = r.u64()?;
+        Ok(())
     }
 }
 
@@ -287,6 +382,66 @@ mod tests {
             n.input(0);
         }
         assert!(!n.attention());
+    }
+
+    #[test]
+    fn fully_truncated_packet_is_accounted() {
+        let mut n = net();
+        // The first packet alone overfills the FIFO; the second arrives
+        // while the FIFO is still saturated, so *every* one of its words is
+        // dropped — it must be counted, not silently vanish.
+        n.inject_packet(vec![1; RX_FIFO_WORDS + 8]);
+        n.inject_packet(vec![2; 4]);
+        for _ in 0..(RX_FIFO_WORDS + 12) * 100 {
+            n.tick();
+        }
+        assert!(n.inbound.is_empty(), "both packets fully arrived");
+        assert_eq!(n.truncated_packets, 1, "second packet fully dropped");
+        assert_eq!(
+            n.overruns,
+            8 + 4,
+            "8 words of packet one, all 4 of packet two"
+        );
+        // Exactly one boundary: the first (truncated) packet's.
+        assert_eq!(n.input(3), RX_FIFO_WORDS as Word);
+        for _ in 0..RX_FIFO_WORDS {
+            n.input(0);
+        }
+        assert!(!n.attention(), "no phantom boundary from the lost packet");
+        assert_eq!(n.input(1), 0, "no words left over");
+    }
+
+    #[test]
+    fn snapshot_round_trip_mid_receive() {
+        use dorado_base::snap::{restore_image, save_image};
+        let mut n = net();
+        n.inject_packet(vec![10, 20, 30]);
+        n.output(0, 7); // tx word pending
+        for _ in 0..150 {
+            n.tick(); // partway through the inbound packet
+        }
+        let img = save_image(&n);
+        let mut m = net();
+        restore_image(&mut m, &img).unwrap();
+        assert_eq!(save_image(&m), img);
+        for _ in 0..200 {
+            n.tick();
+            m.tick();
+        }
+        n.output(2, 0);
+        m.output(2, 0);
+        assert_eq!(n.transmitted, m.transmitted);
+        assert_eq!((n.input(3), n.input(0)), (m.input(3), m.input(0)));
+        assert_eq!(save_image(&n), save_image(&m));
+
+        // A snapshot from a differently-wired controller is rejected.
+        let mut other = NetworkController::new(TaskId::new(9));
+        assert_eq!(
+            restore_image(&mut other, &img).unwrap_err(),
+            SnapError::Mismatch {
+                what: "network task"
+            }
+        );
     }
 
     #[test]

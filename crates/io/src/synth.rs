@@ -2,6 +2,7 @@
 //! sweeps (processor share vs device bandwidth, experiments E3/E4/E7).
 
 use crate::{Device, RatePacer};
+use dorado_base::snap::{Reader, SnapError, Snapshot, Writer};
 use dorado_base::{ClockConfig, TaskId, Word, MUNCH_WORDS};
 use std::collections::VecDeque;
 
@@ -156,6 +157,47 @@ impl Device for RateDevice {
 
     fn rx_overruns(&self) -> u64 {
         self.overruns
+    }
+
+    fn snapshot_save(&self, w: &mut Writer) {
+        Snapshot::save(self, w);
+    }
+
+    fn snapshot_restore(&mut self, r: &mut Reader<'_>) -> Result<(), SnapError> {
+        Snapshot::restore(self, r)
+    }
+}
+
+impl Snapshot for RateDevice {
+    fn save(&self, w: &mut Writer) {
+        w.tag(b"SYNT");
+        w.u8(self.task.number());
+        self.pacer.save(w);
+        w.word_seq(self.fifo.iter().copied());
+        w.u64(self.words_per_service as u64);
+        w.u16(self.next_value);
+        w.u64(self.committed as u64);
+        w.u64(self.generated);
+        w.u64(self.overruns);
+        w.bool(self.active);
+    }
+
+    fn restore(&mut self, r: &mut Reader<'_>) -> Result<(), SnapError> {
+        r.tag(b"SYNT")?;
+        if r.u8()? != self.task.number() {
+            return Err(SnapError::Mismatch {
+                what: "rate-device task",
+            });
+        }
+        self.pacer.restore(r)?;
+        self.fifo = r.word_seq()?.into();
+        self.words_per_service = r.u64()? as usize;
+        self.next_value = r.u16()?;
+        self.committed = r.u64()? as usize;
+        self.generated = r.u64()?;
+        self.overruns = r.u64()?;
+        self.active = r.bool()?;
+        Ok(())
     }
 }
 

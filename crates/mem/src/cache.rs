@@ -6,6 +6,7 @@
 //!
 //! [`MemorySystem`]: crate::MemorySystem
 
+use dorado_base::snap::{Reader, SnapError, Snapshot, Writer};
 use dorado_base::{VirtAddr, Word, MUNCH_WORDS};
 
 /// One cache line: a munch of data plus its tags.
@@ -186,6 +187,40 @@ impl Cache {
     }
 }
 
+impl Snapshot for Cache {
+    fn save(&self, w: &mut Writer) {
+        w.tag(b"CACH");
+        w.len(self.sets);
+        w.len(self.assoc);
+        w.u64(self.clock);
+        for line in &self.lines {
+            w.u32(line.tag);
+            w.bool(line.valid);
+            w.bool(line.dirty);
+            w.u64(line.stamp);
+            w.words(&line.data);
+        }
+    }
+
+    fn restore(&mut self, r: &mut Reader<'_>) -> Result<(), SnapError> {
+        r.tag(b"CACH")?;
+        if r.len()? != self.sets || r.len()? != self.assoc {
+            return Err(SnapError::Mismatch {
+                what: "cache geometry",
+            });
+        }
+        self.clock = r.u64()?;
+        for line in &mut self.lines {
+            line.tag = r.u32()?;
+            line.valid = r.bool()?;
+            line.dirty = r.bool()?;
+            line.stamp = r.u64()?;
+            r.words(&mut line.data)?;
+        }
+        Ok(())
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -250,6 +285,36 @@ mod tests {
         assert!(!c.invalidate(addr(3)));
         // Dirty data is gone — fast I/O overwrote storage.
         assert_eq!(c.dirty_munches().count(), 0);
+    }
+
+    #[test]
+    fn snapshot_preserves_lru_order_exactly() {
+        use dorado_base::snap::{restore_image, save_image};
+        let mut c = Cache::new(1, 2);
+        c.fill(addr(0), [1; MUNCH_WORDS]);
+        c.fill(addr(16), [2; MUNCH_WORDS]);
+        assert_eq!(c.read(addr(0)), Some(1)); // block 16 is now LRU
+        c.write(addr(3), 0xbeef);
+
+        let mut d = Cache::new(1, 2);
+        restore_image(&mut d, &save_image(&c)).unwrap();
+        assert_eq!(save_image(&c), save_image(&d));
+        // The restored cache must make the same replacement decision.
+        for m in [&mut c, &mut d] {
+            m.fill(addr(32), [3; MUNCH_WORDS]);
+            assert!(m.probe(addr(0)));
+            assert!(!m.probe(addr(16)));
+        }
+        assert_eq!(d.peek(addr(3)), Some(0xbeef));
+
+        // Geometry mismatch is rejected, not silently misapplied.
+        let mut wrong = Cache::new(2, 2);
+        assert_eq!(
+            restore_image(&mut wrong, &save_image(&c)).unwrap_err(),
+            SnapError::Mismatch {
+                what: "cache geometry"
+            }
+        );
     }
 
     #[test]

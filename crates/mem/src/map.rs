@@ -8,6 +8,7 @@
 
 use std::collections::HashMap;
 
+use dorado_base::snap::{Reader, SnapError, Snapshot, Writer};
 use dorado_base::{RealAddr, VirtAddr};
 
 /// A page map from 28-bit virtual addresses to real storage addresses.
@@ -69,6 +70,47 @@ impl Map {
     }
 }
 
+impl Snapshot for Map {
+    fn save(&self, w: &mut Writer) {
+        w.tag(b"PMAP");
+        w.u32(self.page_words);
+        w.u32(self.storage_words);
+        // HashMap iteration order is nondeterministic; sort by key so the
+        // same map always serializes to the same bytes (and checksum).
+        let mut entries: Vec<(u32, Option<u32>)> =
+            self.overrides.iter().map(|(&k, &v)| (k, v)).collect();
+        entries.sort_unstable_by_key(|&(k, _)| k);
+        w.len(entries.len());
+        for (vpage, rpage) in entries {
+            w.u32(vpage);
+            match rpage {
+                Some(rp) => {
+                    w.bool(true);
+                    w.u32(rp);
+                }
+                None => w.bool(false),
+            }
+        }
+    }
+
+    fn restore(&mut self, r: &mut Reader<'_>) -> Result<(), SnapError> {
+        r.tag(b"PMAP")?;
+        if r.u32()? != self.page_words || r.u32()? != self.storage_words {
+            return Err(SnapError::Mismatch {
+                what: "map geometry",
+            });
+        }
+        let n = r.len()?;
+        self.overrides.clear();
+        for _ in 0..n {
+            let vpage = r.u32()?;
+            let rpage = if r.bool()? { Some(r.u32()?) } else { None };
+            self.overrides.insert(vpage, rpage);
+        }
+        Ok(())
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -108,6 +150,25 @@ mod tests {
         let mut m = Map::identity(1024, 256);
         m.map_page(0, 100); // real page 100 starts at word 25600 > 1024
         assert_eq!(m.translate(VirtAddr::new(0)), None);
+    }
+
+    #[test]
+    fn snapshot_bytes_are_deterministic_regardless_of_insertion_order() {
+        use dorado_base::snap::{restore_image, save_image};
+        let mut a = Map::identity(4096, 256);
+        a.map_page(3, 7);
+        a.unmap_page(1);
+        a.map_page(9, 2);
+        let mut b = Map::identity(4096, 256);
+        b.map_page(9, 2);
+        b.map_page(3, 7);
+        b.unmap_page(1);
+        assert_eq!(save_image(&a), save_image(&b));
+        let mut c = Map::identity(4096, 256);
+        restore_image(&mut c, &save_image(&a)).unwrap();
+        for v in [0u32, 255, 256, 3 * 256 + 5, 9 * 256] {
+            assert_eq!(a.translate(VirtAddr::new(v)), c.translate(VirtAddr::new(v)));
+        }
     }
 
     #[test]

@@ -4,6 +4,7 @@
 //! Data moves to and from storage in 16-word munches; the module cycle time
 //! is eight processor cycles (§6.2.1).
 
+use dorado_base::snap::{Reader, SnapError, Snapshot, Writer};
 use dorado_base::{RealAddr, Word, MUNCH_WORDS};
 
 /// Flat word-addressed main storage.
@@ -83,6 +84,26 @@ impl Storage {
     pub fn write_munch(&mut self, addr: RealAddr, munch: &[Word; MUNCH_WORDS]) {
         let base = addr.munch_base().0 as usize;
         self.words[base..base + MUNCH_WORDS].copy_from_slice(munch);
+    }
+}
+
+impl Snapshot for Storage {
+    fn save(&self, w: &mut Writer) {
+        w.tag(b"STOR");
+        w.word_seq(self.words.iter().copied());
+    }
+
+    fn restore(&mut self, r: &mut Reader<'_>) -> Result<(), SnapError> {
+        r.tag(b"STOR")?;
+        if r.len()? != self.words.len() {
+            return Err(SnapError::Mismatch {
+                what: "storage size",
+            });
+        }
+        for w in &mut self.words {
+            *w = r.u16()?;
+        }
+        Ok(())
     }
 }
 

@@ -5,6 +5,7 @@ use crate::cache::Cache;
 use crate::config::MemConfig;
 use crate::map::Map;
 use crate::storage::Storage;
+use dorado_base::snap::{Reader, SnapError, Snapshot, Writer};
 use dorado_base::{
     BaseRegId, CacheStats, StorageStats, TaskId, VirtAddr, Word, MUNCH_WORDS, NUM_TASKS,
 };
@@ -552,6 +553,91 @@ impl MemorySystem {
     }
 }
 
+fn save_fetch(w: &mut Writer, p: Option<PendingFetch>) {
+    match p {
+        Some(p) => {
+            w.bool(true);
+            w.u64(p.ready_at);
+            w.u16(p.data);
+        }
+        None => w.bool(false),
+    }
+}
+
+fn restore_fetch(r: &mut Reader<'_>) -> Result<Option<PendingFetch>, SnapError> {
+    Ok(if r.bool()? {
+        Some(PendingFetch {
+            ready_at: r.u64()?,
+            data: r.u16()?,
+        })
+    } else {
+        None
+    })
+}
+
+impl Snapshot for MemCounters {
+    fn save(&self, w: &mut Writer) {
+        self.cache.save(w);
+        self.storage.save(w);
+        w.u64(self.faults);
+        w.u64(self.holds_pipe);
+        w.u64(self.holds_storage);
+        w.u64(self.holds_data);
+    }
+
+    fn restore(&mut self, r: &mut Reader<'_>) -> Result<(), SnapError> {
+        self.cache.restore(r)?;
+        self.storage.restore(r)?;
+        self.faults = r.u64()?;
+        self.holds_pipe = r.u64()?;
+        self.holds_storage = r.u64()?;
+        self.holds_data = r.u64()?;
+        Ok(())
+    }
+}
+
+impl Snapshot for MemorySystem {
+    fn save(&self, w: &mut Writer) {
+        w.tag(b"MEMS");
+        for b in self.base {
+            w.u32(b);
+        }
+        w.u64(self.now);
+        w.u64(self.storage_free_at);
+        for pipe in &self.pending {
+            save_fetch(w, pipe.slots[0]);
+            save_fetch(w, pipe.slots[1]);
+        }
+        w.words(&self.memdata);
+        save_fetch(w, self.ifu_pending);
+        self.counters.save(w);
+        w.bool(self.fault);
+        self.cache.save(w);
+        self.storage.save(w);
+        self.map.save(w);
+    }
+
+    fn restore(&mut self, r: &mut Reader<'_>) -> Result<(), SnapError> {
+        r.tag(b"MEMS")?;
+        for b in &mut self.base {
+            *b = r.u32()?;
+        }
+        self.now = r.u64()?;
+        self.storage_free_at = r.u64()?;
+        for pipe in &mut self.pending {
+            pipe.slots[0] = restore_fetch(r)?;
+            pipe.slots[1] = restore_fetch(r)?;
+        }
+        r.words(&mut self.memdata)?;
+        self.ifu_pending = restore_fetch(r)?;
+        self.counters.restore(r)?;
+        self.fault = r.bool()?;
+        self.cache.restore(r)?;
+        self.storage.restore(r)?;
+        self.map.restore(r)
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -830,6 +916,49 @@ mod tests {
         assert_eq!(c.fast_io.refs, 0);
         assert_eq!(m.counters().cache_refs(), 4);
         assert_eq!(m.counters().ifu_refs(), 2);
+    }
+
+    #[test]
+    fn snapshot_mid_flight_fetch_resumes_identically() {
+        use dorado_base::snap::{restore_image, save_image};
+        let mut m = mem();
+        m.write_virt(VirtAddr::new(0x1000), 0x2222);
+        m.set_base_reg(BaseRegId::new(5), 0x300);
+        m.map_mut().map_page(40, 2);
+        m.start_fetch(T0, VirtAddr::new(0x1000)).unwrap(); // miss in flight
+        for _ in 0..MemConfig::default().storage_cycle {
+            m.tick();
+        }
+        m.ifu_start_fetch(VirtAddr::new(0x2000)).unwrap();
+        m.tick();
+
+        let img = save_image(&m);
+        let mut n = mem();
+        restore_image(&mut n, &img).unwrap();
+        assert_eq!(save_image(&n), img, "save(restore(save)) is byte-stable");
+
+        // Both machines deliver the same data after the same waits and end
+        // with identical counters.
+        let (wm, dm) = run_until_data(&mut m, T0);
+        let (wn, dn) = run_until_data(&mut n, T0);
+        assert_eq!((wm, dm), (wn, dn));
+        assert_eq!(wm, 0x2222);
+        while m.ifu_data().is_none() {
+            m.tick();
+        }
+        while n.ifu_data().is_none() {
+            n.tick();
+        }
+        assert_eq!(m.counters(), n.counters());
+        assert_eq!(m.now(), n.now());
+        assert_eq!(save_image(&m), save_image(&n));
+
+        // A differently sized machine refuses the image.
+        let mut other = MemorySystem::new(MemConfig {
+            storage_words: MemConfig::default().storage_words * 2,
+            ..MemConfig::default()
+        });
+        assert!(restore_image(&mut other, &img).is_err());
     }
 
     #[test]
