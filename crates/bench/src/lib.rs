@@ -20,7 +20,7 @@ use dorado_emu::lisp::LispAsm;
 use dorado_emu::mesa::MesaAsm;
 use dorado_emu::suite::{build_bcpl, build_lisp, build_mesa};
 use dorado_emu::{bcpl::BcplAsm, mesa, SuiteBuilder};
-use dorado_io::{synth::SynthPath, DisplayController, RateDevice};
+use dorado_io::{synth::SynthPath, DiskController, DisplayController, NetworkController, RateDevice};
 
 /// The production clock.
 pub fn clock() -> ClockConfig {
@@ -380,6 +380,90 @@ pub fn hold_overlap() -> (u64, u64, u64) {
 /// Builds a standard Mesa machine for simulator-throughput benchmarking.
 pub fn mesa_machine_for_throughput() -> Dorado {
     build_mesa(&spinning_mesa()).expect("machine")
+}
+
+// --- E17: simulator throughput -----------------------------------------------
+
+/// The §4 workstation scenario as a benchmark machine: the Mesa emulator
+/// computing fib(15) in the foreground while the display refreshes over
+/// fast I/O, the disk streams a 2048-word read, and the network receives a
+/// packet — all sharing one processor by task priority.  Mirrors
+/// `examples/workstation.rs`, so throughput numbers measured here describe
+/// the example workload too.
+pub fn workstation_machine() -> Dorado {
+    let mut p = MesaAsm::new();
+    p.lib(15);
+    p.call("fib", 1);
+    p.halt();
+    p.label("fib");
+    p.ll(0);
+    p.lib(2);
+    p.sub();
+    p.sl(2);
+    p.ll(0);
+    p.jzb("base0");
+    p.ll(0);
+    p.lib(1);
+    p.sub();
+    p.jzb("base1");
+    p.ll(0);
+    p.lib(1);
+    p.sub();
+    p.call("fib", 1);
+    p.ll(2);
+    p.call("fib", 1);
+    p.add();
+    p.ret();
+    p.label("base0");
+    p.lib(0);
+    p.ret();
+    p.label("base1");
+    p.lib(1);
+    p.ret();
+    let program = p.assemble().expect("fib program");
+
+    let mut display = DisplayController::with_rate(TASK_DISPLAY, 256.0, 60.0);
+    display.start();
+    let mut disk = DiskController::new(TASK_DISK);
+    for (i, w) in disk.platter_mut().iter_mut().take(2048).enumerate() {
+        *w = i as Word;
+    }
+    disk.start_read(2048);
+    let mut net = NetworkController::new(TASK_NET);
+    net.inject_packet((1..=48).map(|x| x * 3).collect());
+
+    let suite = SuiteBuilder::new()
+        .with_mesa()
+        .with_display()
+        .with_disk()
+        .with_network()
+        .assemble()
+        .expect("suite");
+    let mut m = suite
+        .machine()
+        .task_entry(TASK_EMU, "mesa:boot")
+        .device(Box::new(display), IOA_DISPLAY, 2)
+        .wire_ioaddress(TASK_DISPLAY, IOA_DISPLAY)
+        .task_entry(TASK_DISPLAY, "disp:init")
+        .device(Box::new(disk), IOA_DISK, 2)
+        .wire_ioaddress(TASK_DISK, IOA_DISK)
+        .task_entry(TASK_DISK, "disk:init")
+        .device(Box::new(net), IOA_NET, 3)
+        .wire_ioaddress(TASK_NET, IOA_NET)
+        .task_entry(TASK_NET, "net:init")
+        .build()
+        .expect("workstation machine");
+    mesa::configure_ifu(&mut m);
+    mesa::init_runtime(&mut m);
+    mesa::load_program(&mut m, &program);
+    m.memory_mut().set_base_reg(BaseRegId::new(BR_DISPLAY), 0x2000);
+    m.memory_mut().set_base_reg(BaseRegId::new(BR_DISK), 0x3000);
+    m.memory_mut().set_base_reg(BaseRegId::new(BR_NET), 0x3800);
+    for i in 0..0x1000u32 {
+        m.memory_mut()
+            .write_virt(VirtAddr::new(0x2000 + i), (i as Word).wrapping_mul(3));
+    }
+    m
 }
 
 /// The emulator task id (re-export for benches).

@@ -51,8 +51,16 @@ fn exchange(m: &mut Dorado, port: usize, fabric: &mut Fabric, now: u64, phase_se
             fabric.send(port, pkt, now);
         }
     } else {
-        for pkt in fabric.collect_for_port(port, now) {
-            net(m).inject_packet(pkt);
+        let packets = fabric.collect_for_port(port, now);
+        // Only reach into the machine when something actually arrived:
+        // the device lookup forces the controller awake for a cycle
+        // (host access is opaque to the event-horizon scheduler), and an
+        // idle machine should stay skippable.
+        if !packets.is_empty() {
+            let controller = net(m);
+            for pkt in packets {
+                controller.inject_packet(pkt);
+            }
         }
     }
 }

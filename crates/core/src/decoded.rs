@@ -5,6 +5,7 @@
 //! this flat struct.
 
 use dorado_asm::{ASel, AluOp, AsmError, BSel, ControlOp, FfOp, LoadControl, Microword};
+use dorado_base::Word;
 
 /// One microinstruction, decoded for execution.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -28,6 +29,10 @@ pub struct DecodedInst {
     pub ff_op: Option<FfOp>,
     /// Sequencing.
     pub control: ControlOp,
+    /// The B-bus constant, pre-assembled from BSelect and the FF byte when
+    /// BSelect names one (the hardware merges them combinationally, §5.4;
+    /// resolving at decode time keeps it off the per-cycle path).
+    pub bconst: Word,
 }
 
 impl DecodedInst {
@@ -64,6 +69,7 @@ impl DecodedInst {
             ff_raw: word.ff(),
             ff_op,
             control,
+            bconst: dorado_asm::const_value(bsel, word.ff()).unwrap_or(0),
         })
     }
 

@@ -131,6 +131,37 @@ enum WbWrite {
     Stack(usize, Word),
 }
 
+/// The deferred-writeback queue.  An instruction retires at most two
+/// register-file writes — T plus one of RM/stack — so two inline slots
+/// replace a heap-allocated `Vec` on the per-instruction hot path.
+#[derive(Debug, Clone, Copy, Default)]
+struct WbQueue {
+    slots: [Option<WbWrite>; 2],
+}
+
+impl WbQueue {
+    fn push(&mut self, write: WbWrite) {
+        if self.slots[0].is_none() {
+            self.slots[0] = Some(write);
+        } else {
+            debug_assert!(self.slots[1].is_none(), "at most two writes per instruction");
+            self.slots[1] = Some(write);
+        }
+    }
+
+    fn take(&mut self) -> [Option<WbWrite>; 2] {
+        std::mem::take(&mut self.slots)
+    }
+
+    fn iter(&self) -> impl Iterator<Item = WbWrite> + '_ {
+        self.slots.iter().flatten().copied()
+    }
+
+    fn len(&self) -> usize {
+        self.slots.iter().flatten().count()
+    }
+}
+
 /// Builder for a [`Dorado`] machine.
 ///
 /// # Examples
@@ -256,7 +287,7 @@ impl DoradoBuilder {
             decoded,
             labels,
             bypass: self.bypass.unwrap_or(true),
-            pending_wb: Vec::new(),
+            pending_wb: WbQueue::default(),
             tasking: self.tasking,
             clock: self.clock.unwrap_or_default(),
             stats: Stats::new(),
@@ -296,7 +327,7 @@ pub struct Dorado {
     decoded: Vec<DecodedInst>,
     labels: std::collections::HashMap<String, MicroAddr>,
     bypass: bool,
-    pending_wb: Vec<WbWrite>,
+    pending_wb: WbQueue,
     tasking: TaskingMode,
     clock: ClockConfig,
     stats: Stats,
@@ -322,6 +353,16 @@ impl std::fmt::Debug for Dorado {
 impl Dorado {
     /// Executes one microcycle.
     pub fn step(&mut self) -> StepEvent {
+        // Monomorphize on tracing so the untraced hot path carries no
+        // probe reads, no `Option` checks, and no record call at all.
+        if self.tracer.is_some() {
+            self.step_impl::<true>()
+        } else {
+            self.step_impl::<false>()
+        }
+    }
+
+    fn step_impl<const TRACED: bool>(&mut self) -> StepEvent {
         let task = self.control.this_task;
         let at = self.control.this_pc;
         let inst = self.decoded[at.raw() as usize];
@@ -338,16 +379,18 @@ impl Dorado {
         self.control.arbitrate(requests);
 
         // Phase 2: hold check, then execution.  The cache-counter probe
-        // exists only while tracing, so the tracing-off path stays free.
-        // (Only the processor and fast-I/O ports: the IFU port belongs to
-        // the prefetcher, which runs in phase 4.)
-        let probe = self.tracer.as_ref().map(|_| {
+        // exists only in the traced instantiation, so the tracing-off path
+        // stays free.  (Only the processor and fast-I/O ports: the IFU
+        // port belongs to the prefetcher, which runs in phase 4.)
+        let probe = if TRACED {
             let c = &self.mem.counters().cache;
             (
                 c.processor.refs + c.fast_io.refs,
                 c.processor.hits + c.fast_io.hits,
             )
-        });
+        } else {
+            (0, 0)
+        };
         let held = self.check_hold(&inst, task);
         let this_task_next_pc;
         let mut block_effective = false;
@@ -426,8 +469,8 @@ impl Dorado {
             next_task: next,
             halted: halted_now,
         };
-        if let Some(tracer) = &mut self.tracer {
-            let (refs_before, hits_before) = probe.expect("probe taken while tracing");
+        if let Some(tracer) = self.tracer.as_mut().filter(|_| TRACED) {
+            let (refs_before, hits_before) = probe;
             let c = &self.mem.counters().cache;
             let (refs_after, hits_after) = (
                 c.processor.refs + c.fast_io.refs,
@@ -459,6 +502,37 @@ impl Dorado {
     /// Runs until halt, a breakpoint, the cycle budget, or a wedge.
     pub fn run(&mut self, max_cycles: u64) -> RunOutcome {
         let start = self.stats.cycles;
+        if self.breakpoints.is_empty() {
+            // Hot path: no per-cycle breakpoint probe, and the wedge test
+            // runs only where it can newly fire — `consecutive_holds`
+            // grows on held cycles alone, so executed cycles need just the
+            // halt and budget checks.
+            while !self.halted {
+                if self.stats.cycles - start >= max_cycles {
+                    return RunOutcome::CycleLimit {
+                        cycles: self.stats.cycles - start,
+                    };
+                }
+                if self.consecutive_holds > self.wedge_limit {
+                    return RunOutcome::Wedged {
+                        at: self.control.this_pc,
+                        task: self.control.this_task,
+                    };
+                }
+                loop {
+                    let ev = self.step();
+                    if ev.held.is_some()
+                        || self.halted
+                        || self.stats.cycles - start >= max_cycles
+                    {
+                        break;
+                    }
+                }
+            }
+            return RunOutcome::Halted {
+                cycles: self.stats.cycles - start,
+            };
+        }
         while !self.halted {
             if self.stats.cycles - start >= max_cycles {
                 return RunOutcome::CycleLimit {
@@ -587,7 +661,7 @@ impl Dorado {
     /// mode writes were applied immediately and this is a no-op; in Model-0
     /// mode it runs after the current instruction's operands are read.
     fn drain_wb(&mut self) {
-        for w in self.pending_wb.drain(..) {
+        for w in self.pending_wb.take().into_iter().flatten() {
             match w {
                 WbWrite::T(task, v) => self.dp.t[task.index()] = v,
                 WbWrite::Rm(i, v) => self.dp.rm[i] = v,
@@ -619,7 +693,7 @@ impl Dorado {
             BSel::T => t_val,
             BSel::Q => self.dp.q,
             BSel::MemData => self.mem.memdata(task).expect("hold-checked"),
-            c => dorado_asm::const_value(c, inst.ff_raw).expect("constant BSel"),
+            _ => inst.bconst,
         };
 
         // Previous instruction's writeback commits now (§5.6, Figure 4):
@@ -825,7 +899,7 @@ impl Dorado {
 
         // Writebacks (RESULT into T and RM/stack, Figure 2's final half
         // cycle).  STACKPTR adjusts for every stack op, read or write.
-        let mut writes: Vec<WbWrite> = Vec::new();
+        let mut writes = WbQueue::default();
         if inst.load.loads_t() {
             writes.push(WbWrite::T(task, result));
         }
@@ -837,11 +911,9 @@ impl Dorado {
         } else if inst.load.loads_rm() {
             writes.push(WbWrite::Rm(rm_idx, result));
         }
+        self.pending_wb = writes;
         if self.bypass {
-            self.pending_wb = writes;
             self.drain_wb();
-        } else {
-            self.pending_wb = writes;
         }
 
         // Commit the branch-condition register for the next instruction.
@@ -1085,8 +1157,8 @@ impl Snapshot for Dorado {
         w.bool(self.halted);
         w.u64(self.consecutive_holds);
         w.len(self.pending_wb.len());
-        for wb in &self.pending_wb {
-            match *wb {
+        for wb in self.pending_wb.iter() {
+            match wb {
                 WbWrite::T(task, v) => {
                     w.u8(0);
                     w.u8(task.number());
@@ -1118,7 +1190,10 @@ impl Snapshot for Dorado {
         self.halted = r.bool()?;
         self.consecutive_holds = r.u64()?;
         let n = r.len()?;
-        self.pending_wb.clear();
+        if n > 2 {
+            return Err(SnapError::Invalid { what: "wb count" });
+        }
+        self.pending_wb = WbQueue::default();
         for _ in 0..n {
             let wb = match r.u8()? {
                 0 => WbWrite::T(TaskId::new(r.u8()?), r.u16()?),

@@ -237,6 +237,17 @@ impl Ifu {
         self.discard = 1;
     }
 
+    /// Whether this tick has no prefetch work beyond occupancy accounting:
+    /// the buffer is saturated (no room for a fetched word, so none will
+    /// be issued), no fetch is in flight (so none can arrive), and there
+    /// is no stale fetch to discard.  The quiescence invariant behind the
+    /// [`Ifu::tick`] fast path.
+    pub fn is_quiescent(&self, mem: &MemorySystem) -> bool {
+        self.discard == 0
+            && !mem.ifu_fetch_outstanding()
+            && self.buffer.len() + 2 > self.buffer_cap
+    }
+
     /// Advances the prefetch engine one microcycle.  Call once per machine
     /// cycle, before the processor's instruction executes.
     pub fn tick(&mut self, mem: &mut MemorySystem) {
@@ -246,6 +257,11 @@ impl Ifu {
         self.counters.buffer_bytes_accum += self.buffer.len() as u64;
         if self.buffer.len() + 2 > self.buffer_cap {
             self.counters.buffer_full_cycles += 1;
+            // Saturated with nothing in flight and nothing to discard:
+            // the rest of the tick is provably a no-op.
+            if self.discard == 0 && !mem.ifu_fetch_outstanding() {
+                return;
+            }
         }
         // Collect arrived data.
         if let Some(word) = mem.ifu_data() {

@@ -104,6 +104,32 @@ impl DiskController {
     pub fn busy(&self) -> bool {
         !matches!(self.mode, Mode::Idle) || !self.fifo.is_empty()
     }
+
+    /// [`Snapshot::save`] with the pacer projected over `pending` skipped
+    /// quiescent cycles, so images are independent of the scheduling mode
+    /// (see [`Device::snapshot_save`]).
+    fn save_projected(&self, w: &mut Writer, pending: u64) {
+        w.tag(b"DISK");
+        w.u8(self.task.number());
+        self.pacer.advanced(pending).save(w);
+        match self.mode {
+            Mode::Idle => w.u8(0),
+            Mode::Reading { remaining } => {
+                w.u8(1);
+                w.u64(remaining as u64);
+            }
+            Mode::Writing { remaining } => {
+                w.u8(2);
+                w.u64(remaining as u64);
+            }
+        }
+        w.word_seq(self.fifo.iter().copied());
+        w.word_seq(self.platter.iter().copied());
+        w.u64(self.head as u64);
+        w.u64(self.committed as u64);
+        w.u64(self.overruns);
+        w.u64(self.underruns);
+    }
 }
 
 impl Device for DiskController {
@@ -218,8 +244,29 @@ impl Device for DiskController {
         self.overruns
     }
 
-    fn snapshot_save(&self, w: &mut Writer) {
-        Snapshot::save(self, w);
+    fn next_due(&self, now: u64) -> Option<u64> {
+        // A completed read with a drained FIFO collapses to Idle on the
+        // very next tick, independent of the media rate.
+        if matches!(self.mode, Mode::Reading { remaining: 0 }) && self.fifo.is_empty() {
+            return Some(now);
+        }
+        match self.mode {
+            // Idle ticks and no-op events only advance the pacer phase,
+            // which skip() reconstructs; likewise a completed read still
+            // waiting on the microcode to drain the FIFO.
+            Mode::Idle | Mode::Reading { remaining: 0 } => None,
+            _ => self.pacer.cycles_until_event().map(|k| now + k - 1),
+        }
+    }
+
+    fn skip(&mut self, cycles: u64) {
+        // The medium spins regardless of mode: quiescent ticks still
+        // advance the pacer phase.
+        self.pacer = self.pacer.advanced(cycles);
+    }
+
+    fn snapshot_save(&self, w: &mut Writer, pending: u64) {
+        self.save_projected(w, pending);
     }
 
     fn snapshot_restore(&mut self, r: &mut Reader<'_>) -> Result<(), SnapError> {
@@ -229,26 +276,7 @@ impl Device for DiskController {
 
 impl Snapshot for DiskController {
     fn save(&self, w: &mut Writer) {
-        w.tag(b"DISK");
-        w.u8(self.task.number());
-        self.pacer.save(w);
-        match self.mode {
-            Mode::Idle => w.u8(0),
-            Mode::Reading { remaining } => {
-                w.u8(1);
-                w.u64(remaining as u64);
-            }
-            Mode::Writing { remaining } => {
-                w.u8(2);
-                w.u64(remaining as u64);
-            }
-        }
-        w.word_seq(self.fifo.iter().copied());
-        w.word_seq(self.platter.iter().copied());
-        w.u64(self.head as u64);
-        w.u64(self.committed as u64);
-        w.u64(self.overruns);
-        w.u64(self.underruns);
+        self.save_projected(w, 0);
     }
 
     fn restore(&mut self, r: &mut Reader<'_>) -> Result<(), SnapError> {

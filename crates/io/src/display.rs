@@ -83,6 +83,27 @@ impl DisplayController {
     pub fn screen(&self) -> &[Word] {
         &self.screen
     }
+
+    /// [`Snapshot::save`] with the pacer projected over `pending` skipped
+    /// quiescent cycles (see [`Device::snapshot_save`]).  An inactive
+    /// display's tick returns before stepping the pacer, so the projection
+    /// only applies while refresh is running.
+    fn save_projected(&self, w: &mut Writer, pending: u64) {
+        w.tag(b"DISP");
+        w.u8(self.task.number());
+        let pacer = if self.active {
+            self.pacer.advanced(pending)
+        } else {
+            self.pacer
+        };
+        pacer.save(w);
+        w.word_seq(self.fifo.iter().copied());
+        w.bool(self.active);
+        w.u64(self.committed as u64);
+        w.u64(self.painted);
+        w.u64(self.underruns);
+        w.word_seq(self.screen.iter().copied());
+    }
 }
 
 impl Device for DisplayController {
@@ -152,8 +173,24 @@ impl Device for DisplayController {
         }
     }
 
-    fn snapshot_save(&self, w: &mut Writer) {
-        Snapshot::save(self, w);
+    fn next_due(&self, now: u64) -> Option<u64> {
+        // A stopped display's tick is a pure no-op (it does not even step
+        // the pacer); a running one only changes state when a paint event
+        // fires.
+        if !self.active {
+            return None;
+        }
+        self.pacer.cycles_until_event().map(|k| now + k - 1)
+    }
+
+    fn skip(&mut self, cycles: u64) {
+        if self.active {
+            self.pacer = self.pacer.advanced(cycles);
+        }
+    }
+
+    fn snapshot_save(&self, w: &mut Writer, pending: u64) {
+        self.save_projected(w, pending);
     }
 
     fn snapshot_restore(&mut self, r: &mut Reader<'_>) -> Result<(), SnapError> {
@@ -163,15 +200,7 @@ impl Device for DisplayController {
 
 impl Snapshot for DisplayController {
     fn save(&self, w: &mut Writer) {
-        w.tag(b"DISP");
-        w.u8(self.task.number());
-        self.pacer.save(w);
-        w.word_seq(self.fifo.iter().copied());
-        w.bool(self.active);
-        w.u64(self.committed as u64);
-        w.u64(self.painted);
-        w.u64(self.underruns);
-        w.word_seq(self.screen.iter().copied());
+        self.save_projected(w, 0);
     }
 
     fn restore(&mut self, r: &mut Reader<'_>) -> Result<(), SnapError> {

@@ -114,6 +114,39 @@ impl NetworkController {
     pub fn tx_words(&self) -> u64 {
         self.tx_words
     }
+
+    /// [`Snapshot::save`] with the pacer projected over `pending` skipped
+    /// quiescent cycles (see [`Device::snapshot_save`]).  The line clock
+    /// runs whether or not traffic is flowing, so the projection always
+    /// applies.
+    fn save_projected(&self, w: &mut Writer, pending: u64) {
+        w.tag(b"NETC");
+        w.u8(self.task.number());
+        self.pacer.advanced(pending).save(w);
+        w.len(self.inbound.len());
+        for pkt in &self.inbound {
+            w.word_seq(pkt.iter().copied());
+        }
+        w.u64(self.rx_pos as u64);
+        w.u64(self.rx_accepted as u64);
+        w.len(self.rx_fifo.len());
+        for &(word, end) in &self.rx_fifo {
+            w.u16(word);
+            w.bool(end);
+        }
+        w.u64(self.rx_boundaries as u64);
+        w.u64(self.committed as u64);
+        w.word_seq(self.tx_fifo.iter().copied());
+        w.word_seq(self.tx_current.iter().copied());
+        w.len(self.transmitted.len());
+        for pkt in &self.transmitted {
+            w.word_seq(pkt.iter().copied());
+        }
+        w.u64(self.overruns);
+        w.u64(self.truncated_packets);
+        w.u64(self.tx_packets);
+        w.u64(self.tx_words);
+    }
 }
 
 impl Device for NetworkController {
@@ -232,8 +265,22 @@ impl Device for NetworkController {
         self.overruns
     }
 
-    fn snapshot_save(&self, w: &mut Writer) {
-        Snapshot::save(self, w);
+    fn next_due(&self, now: u64) -> Option<u64> {
+        // With nothing arriving and nothing queued to transmit, line-rate
+        // events are no-ops; only the pacer phase advances, and skip()
+        // reconstructs that.
+        if self.inbound.is_empty() && self.tx_fifo.is_empty() {
+            return None;
+        }
+        self.pacer.cycles_until_event().map(|k| now + k - 1)
+    }
+
+    fn skip(&mut self, cycles: u64) {
+        self.pacer = self.pacer.advanced(cycles);
+    }
+
+    fn snapshot_save(&self, w: &mut Writer, pending: u64) {
+        self.save_projected(w, pending);
     }
 
     fn snapshot_restore(&mut self, r: &mut Reader<'_>) -> Result<(), SnapError> {
@@ -243,32 +290,7 @@ impl Device for NetworkController {
 
 impl Snapshot for NetworkController {
     fn save(&self, w: &mut Writer) {
-        w.tag(b"NETC");
-        w.u8(self.task.number());
-        self.pacer.save(w);
-        w.len(self.inbound.len());
-        for pkt in &self.inbound {
-            w.word_seq(pkt.iter().copied());
-        }
-        w.u64(self.rx_pos as u64);
-        w.u64(self.rx_accepted as u64);
-        w.len(self.rx_fifo.len());
-        for &(word, end) in &self.rx_fifo {
-            w.u16(word);
-            w.bool(end);
-        }
-        w.u64(self.rx_boundaries as u64);
-        w.u64(self.committed as u64);
-        w.word_seq(self.tx_fifo.iter().copied());
-        w.word_seq(self.tx_current.iter().copied());
-        w.len(self.transmitted.len());
-        for pkt in &self.transmitted {
-            w.word_seq(pkt.iter().copied());
-        }
-        w.u64(self.overruns);
-        w.u64(self.truncated_packets);
-        w.u64(self.tx_packets);
-        w.u64(self.tx_words);
+        self.save_projected(w, 0);
     }
 
     fn restore(&mut self, r: &mut Reader<'_>) -> Result<(), SnapError> {

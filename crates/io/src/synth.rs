@@ -85,6 +85,28 @@ impl RateDevice {
     pub fn words_per_cycle(&self) -> f64 {
         self.pacer.rate()
     }
+
+    /// [`Snapshot::save`] with the pacer projected over `pending` skipped
+    /// quiescent cycles (see [`Device::snapshot_save`]).  A stopped
+    /// device's tick returns before stepping the pacer, so the projection
+    /// only applies while the flow is running.
+    fn save_projected(&self, w: &mut Writer, pending: u64) {
+        w.tag(b"SYNT");
+        w.u8(self.task.number());
+        let pacer = if self.active {
+            self.pacer.advanced(pending)
+        } else {
+            self.pacer
+        };
+        pacer.save(w);
+        w.word_seq(self.fifo.iter().copied());
+        w.u64(self.words_per_service as u64);
+        w.u16(self.next_value);
+        w.u64(self.committed as u64);
+        w.u64(self.generated);
+        w.u64(self.overruns);
+        w.bool(self.active);
+    }
 }
 
 impl Device for RateDevice {
@@ -159,8 +181,23 @@ impl Device for RateDevice {
         self.overruns
     }
 
-    fn snapshot_save(&self, w: &mut Writer) {
-        Snapshot::save(self, w);
+    fn next_due(&self, now: u64) -> Option<u64> {
+        // A stopped source's tick is a pure no-op (the pacer does not even
+        // step); a running one only changes state when a word is generated.
+        if !self.active {
+            return None;
+        }
+        self.pacer.cycles_until_event().map(|k| now + k - 1)
+    }
+
+    fn skip(&mut self, cycles: u64) {
+        if self.active {
+            self.pacer = self.pacer.advanced(cycles);
+        }
+    }
+
+    fn snapshot_save(&self, w: &mut Writer, pending: u64) {
+        self.save_projected(w, pending);
     }
 
     fn snapshot_restore(&mut self, r: &mut Reader<'_>) -> Result<(), SnapError> {
@@ -170,16 +207,7 @@ impl Device for RateDevice {
 
 impl Snapshot for RateDevice {
     fn save(&self, w: &mut Writer) {
-        w.tag(b"SYNT");
-        w.u8(self.task.number());
-        self.pacer.save(w);
-        w.word_seq(self.fifo.iter().copied());
-        w.u64(self.words_per_service as u64);
-        w.u16(self.next_value);
-        w.u64(self.committed as u64);
-        w.u64(self.generated);
-        w.u64(self.overruns);
-        w.bool(self.active);
+        self.save_projected(w, 0);
     }
 
     fn restore(&mut self, r: &mut Reader<'_>) -> Result<(), SnapError> {
