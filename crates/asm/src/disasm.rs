@@ -4,6 +4,7 @@
 use crate::fields::{ASel, BSel, LoadControl};
 use crate::flow::ControlOp;
 use crate::microword::Microword;
+use crate::placer::{PlacedProgram, SlotUse};
 use dorado_base::MicroAddr;
 
 /// Renders one microword as a human-readable line.
@@ -92,6 +93,56 @@ pub fn disassemble(at: MicroAddr, word: Microword) -> String {
     format!("{at}: {}", parts.join(", "))
 }
 
+/// Renders a full listing of `placed` — labels, instructions, relays
+/// and padding — interleaving `annotations` (address-keyed comment
+/// lines, e.g. lint diagnostics) beneath the words they refer to.
+///
+/// # Examples
+///
+/// ```
+/// use dorado_asm::{disasm::disassemble_annotated, Assembler, Inst};
+/// use dorado_base::MicroAddr;
+///
+/// let mut a = Assembler::new();
+/// a.label("spin");
+/// a.emit(Inst::new().goto_("spin"));
+/// let placed = a.place().unwrap();
+/// let at = placed.address_of("spin").unwrap();
+/// let listing = disassemble_annotated(&placed, &[(at, "busy loop".into())]);
+/// assert!(listing.contains("spin:"));
+/// assert!(listing.contains("; ^ busy loop"));
+/// ```
+pub fn disassemble_annotated(
+    placed: &PlacedProgram,
+    annotations: &[(MicroAddr, String)],
+) -> String {
+    let mut labels: Vec<(MicroAddr, &str)> = placed.labels().map(|(n, a)| (a, n)).collect();
+    labels.sort();
+    let mut out = String::new();
+    for (i, slot) in placed.uses().iter().enumerate() {
+        let addr = MicroAddr::new(i as u16);
+        match slot {
+            SlotUse::Empty => continue,
+            SlotUse::Waste => out.push_str(&format!("{addr}:  ; (padding)\n")),
+            SlotUse::Relay(target) => {
+                out.push_str(&disassemble(addr, placed.word(addr)));
+                out.push_str(&format!("  ; relay -> {target}\n"));
+            }
+            SlotUse::Inst(_) => {
+                for (_, label) in labels.iter().filter(|(a, _)| *a == addr) {
+                    out.push_str(&format!("{label}:\n"));
+                }
+                out.push_str(&disassemble(addr, placed.word(addr)));
+                out.push('\n');
+            }
+        }
+        for (_, note) in annotations.iter().filter(|(a, _)| *a == addr) {
+            out.push_str(&format!("        ; ^ {note}\n"));
+        }
+    }
+    out
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -147,5 +198,29 @@ mod tests {
         let w = Microword::from_raw(0x3_ffff_ffff).unwrap();
         let s = disassemble(MicroAddr::new(4095), w);
         assert!(!s.is_empty());
+    }
+
+    #[test]
+    fn annotated_listing_interleaves_notes() {
+        use crate::program::Assembler;
+        use crate::Inst;
+
+        let mut a = Assembler::new();
+        a.label("top");
+        a.emit(Inst::new().goto_("next"));
+        a.label("next");
+        a.emit(Inst::new().ff_halt().goto_("next"));
+        let placed = a.place().unwrap();
+        let top = placed.address_of("top").unwrap();
+        let next = placed.address_of("next").unwrap();
+        let listing = disassemble_annotated(
+            &placed,
+            &[(next, "spins forever".into()), (top, "entry".into())],
+        );
+        let top_line = listing.find("; ^ entry").unwrap();
+        let next_line = listing.find("; ^ spins forever").unwrap();
+        assert!(top_line < next_line, "{listing}");
+        assert!(listing.contains("top:"), "{listing}");
+        assert!(listing.contains("next:"), "{listing}");
     }
 }

@@ -58,6 +58,9 @@ pub enum AsmError {
     },
     /// The program is empty.
     EmptyProgram,
+    /// Post-placement verification found one or more violations.  Each
+    /// entry is one rendered [`crate::verify::Violation`], deduplicated.
+    Verification(Vec<String>),
 }
 
 impl std::fmt::Display for AsmError {
@@ -90,6 +93,13 @@ impl std::fmt::Display for AsmError {
                 "branch at {at} cannot reach pair ({when_false}, {when_true})"
             ),
             AsmError::EmptyProgram => write!(f, "program contains no instructions"),
+            AsmError::Verification(violations) => {
+                write!(f, "verification failed ({} violations):", violations.len())?;
+                for v in violations {
+                    write!(f, "\n  {v}")?;
+                }
+                Ok(())
+            }
         }
     }
 }

@@ -165,16 +165,25 @@ pub fn verify(placed: &PlacedProgram) -> Vec<Violation> {
     out
 }
 
-/// Convenience: verify and convert any violation into an error.
+/// Convenience: verify and convert the violations into an error.
 ///
 /// # Errors
 ///
-/// Returns [`AsmError::BadDispatchTable`]-style diagnostics describing the
-/// first violation.
+/// Returns [`AsmError::Verification`] carrying *every* violation found,
+/// rendered and deduplicated (a corrupt dispatch table would otherwise
+/// repeat one complaint per entry).
 pub fn verify_ok(placed: &PlacedProgram) -> Result<(), AsmError> {
-    match verify(placed).into_iter().next() {
-        None => Ok(()),
-        Some(v) => Err(AsmError::BadDispatchTable(format!("{v}"))),
+    let mut rendered: Vec<String> = Vec::new();
+    for v in verify(placed) {
+        let line = format!("{v}");
+        if !rendered.contains(&line) {
+            rendered.push(line);
+        }
+    }
+    if rendered.is_empty() {
+        Ok(())
+    } else {
+        Err(AsmError::Verification(rendered))
     }
 }
 
@@ -251,5 +260,38 @@ mod tests {
             violations.iter().any(|v| v.what.contains("page and constant")),
             "{violations:?}"
         );
+    }
+
+    #[test]
+    fn verify_ok_reports_all_violations() {
+        let mut a = Assembler::new();
+        a.label("x");
+        a.emit(nop().goto_("y"));
+        a.label("y");
+        a.emit(nop().ff_halt().goto_("y"));
+        let mut placed = a.place().unwrap();
+        assert!(verify(&placed).is_empty());
+        // Two independent corruptions: a goto into an unused slot and an
+        // FF page/constant collision at a second word.
+        let bad0 = placed
+            .word(MicroAddr::new(0))
+            .with_control(crate::flow::ControlOp::Goto { offset: 9 });
+        placed.set_word(MicroAddr::new(0), bad0);
+        let bad1 = crate::microword::Microword::default()
+            .with_bsel(crate::fields::BSel::ConstLo0)
+            .with_ff(0x07)
+            .with_control(crate::flow::ControlOp::GotoLong { offset: 9 });
+        placed.set_word(MicroAddr::new(1), bad1);
+        let err = verify_ok(&placed).unwrap_err();
+        let AsmError::Verification(lines) = &err else {
+            panic!("expected Verification, got {err:?}");
+        };
+        assert!(lines.len() >= 2, "{lines:?}");
+        // Deduplication: rendering the same violation twice collapses.
+        let mut seen = lines.clone();
+        seen.sort();
+        seen.dedup();
+        assert_eq!(seen.len(), lines.len(), "duplicates in {lines:?}");
+        assert!(format!("{err}").contains("verification failed"));
     }
 }

@@ -470,6 +470,7 @@ pub struct MesaAsm {
     bytes: Vec<u8>,
     labels: HashMap<String, usize>,
     fixups: Vec<(usize, String, Fix)>,
+    marks: Vec<(usize, (usize, usize))>,
 }
 
 impl MesaAsm {
@@ -493,6 +494,14 @@ impl MesaAsm {
     /// would get).
     pub fn here(&self) -> usize {
         self.bytes.len()
+    }
+
+    /// Records that the bytes emitted from here on come from the source
+    /// range `start..end` (byte offsets into whatever text the caller
+    /// compiled).  The map is returned by [`MesaAsm::assemble_with_map`]
+    /// so analyzers can point bytecode diagnostics back at source.
+    pub fn mark(&mut self, start: usize, end: usize) {
+        self.marks.push((self.bytes.len(), (start, end)));
     }
 
     fn op(&mut self, op: Op) {
@@ -673,7 +682,23 @@ impl MesaAsm {
     ///
     /// Returns a message naming any undefined label or out-of-range
     /// displacement.
-    pub fn assemble(mut self) -> Result<Vec<u8>, String> {
+    pub fn assemble(self) -> Result<Vec<u8>, String> {
+        self.assemble_with_map().map(|(bytes, _)| bytes)
+    }
+
+    /// Like [`MesaAsm::assemble`], but also returns the source map: for
+    /// each [`MesaAsm::mark`] call, the byte offset it applies from and
+    /// the `(start, end)` source range.  Offsets are non-decreasing; a
+    /// mark covers the bytes up to the next mark (or the program end).
+    ///
+    /// # Errors
+    ///
+    /// Returns a message naming any undefined label or out-of-range
+    /// displacement.
+    #[allow(clippy::type_complexity)]
+    pub fn assemble_with_map(
+        mut self,
+    ) -> Result<(Vec<u8>, Vec<(usize, (usize, usize))>), String> {
         for (at, label, fix) in std::mem::take(&mut self.fixups) {
             let target = *self
                 .labels
@@ -697,7 +722,7 @@ impl MesaAsm {
                 }
             }
         }
-        Ok(self.bytes)
+        Ok((self.bytes, self.marks))
     }
 }
 

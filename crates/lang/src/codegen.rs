@@ -23,7 +23,7 @@ use dorado_emu::mesa::MesaAsm;
 
 use crate::ast::{BinOp, UnOp};
 use crate::error::{CompileError, Result};
-use crate::sema::{Place, RExpr, RProc, RProgram, RStmt};
+use crate::sema::{Place, RExpr, RProc, RProgram, RStmt, RStmtKind};
 use crate::span::Span;
 
 /// Generates the final byte program for a resolved program.
@@ -36,6 +36,29 @@ use crate::span::Span;
 /// Reports jump displacements that overflow a signed byte (bodies longer
 /// than 127 bytes must be split into procedures).
 pub fn generate(p: &RProgram) -> Result<Vec<u8>> {
+    emit(p).assemble().map_err(assemble_error)
+}
+
+/// Like [`generate`], but also returns the bytecode→source map: for each
+/// statement boundary, the byte offset it starts at and the source
+/// `(start, end)` range it was lowered from.
+///
+/// # Errors
+///
+/// Same as [`generate`].
+#[allow(clippy::type_complexity)]
+pub fn generate_with_map(p: &RProgram) -> Result<(Vec<u8>, Vec<(usize, (usize, usize))>)> {
+    emit(p).assemble_with_map().map_err(assemble_error)
+}
+
+fn assemble_error(e: String) -> CompileError {
+    CompileError::new(
+        Span::default(),
+        format!("{e} (conditional bodies are limited to 127 bytes of code; split long bodies into procedures)"),
+    )
+}
+
+fn emit(p: &RProgram) -> MesaAsm {
     let mut g = Gen {
         asm: MesaAsm::new(),
         next_label: 0,
@@ -54,12 +77,7 @@ pub fn generate(p: &RProgram) -> Result<Vec<u8>> {
         g.asm.lib(0);
         g.asm.ret();
     }
-    g.asm.assemble().map_err(|e| {
-        CompileError::new(
-            Span::default(),
-            format!("{e} (conditional bodies are limited to 127 bytes of code; split long bodies into procedures)"),
-        )
-    })
+    g.asm
 }
 
 fn proc_label(name: &str) -> String {
@@ -283,12 +301,13 @@ impl Gen {
     }
 
     fn stmt(&mut self, s: &RStmt, frame: &RProc) {
-        match s {
-            RStmt::Store(place, e) => {
+        self.asm.mark(s.span.start, s.span.end);
+        match &s.kind {
+            RStmtKind::Store(place, e) => {
                 self.expr(e, frame);
                 self.store(*place);
             }
-            RStmt::If(cond, then, els) => {
+            RStmtKind::If(cond, then, els) => {
                 let end = self.fresh("if.e");
                 self.expr(cond, frame);
                 if els.is_empty() {
@@ -304,7 +323,7 @@ impl Gen {
                 }
                 self.asm.label(end);
             }
-            RStmt::While(cond, body) => {
+            RStmtKind::While(cond, body) => {
                 let top = self.fresh("wh.t");
                 let end = self.fresh("wh.e");
                 self.asm.label(top.clone());
@@ -314,18 +333,18 @@ impl Gen {
                 self.asm.jb(top);
                 self.asm.label(end);
             }
-            RStmt::Return(e) => {
+            RStmtKind::Return(e) => {
                 self.expr(e, frame);
                 self.asm.ret();
             }
-            RStmt::Eval(e) => {
+            RStmtKind::Eval(e) => {
                 self.expr(e, frame);
                 self.asm.drop_top();
             }
-            RStmt::Result(e) => {
+            RStmtKind::Result(e) => {
                 self.expr(e, frame);
             }
-            RStmt::ASet(base, index, value) => {
+            RStmtKind::ASet(base, index, value) => {
                 self.expr(base, frame);
                 self.expr(index, frame);
                 self.expr(value, frame);

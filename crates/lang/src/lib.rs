@@ -52,6 +52,8 @@
 //! # Ok::<(), Box<dyn std::error::Error>>(())
 //! ```
 
+#![forbid(unsafe_code)]
+
 pub mod ast;
 pub mod codegen;
 pub mod error;
@@ -74,6 +76,21 @@ pub fn compile(src: &str) -> error::Result<Vec<u8>> {
     let program = parser::parse(src)?;
     let resolved = sema::resolve(&program)?;
     codegen::generate(&resolved)
+}
+
+/// Compiles source text to a Mesa byte program plus a bytecode→source
+/// map: `(byte_offset, (span_start, span_end))` pairs, one per statement,
+/// with non-decreasing offsets.  Analyzers use the map to render
+/// bytecode diagnostics against the source text.
+///
+/// # Errors
+///
+/// Same as [`compile`].
+#[allow(clippy::type_complexity)]
+pub fn compile_with_map(src: &str) -> error::Result<(Vec<u8>, Vec<(usize, (usize, usize))>)> {
+    let program = parser::parse(src)?;
+    let resolved = sema::resolve(&program)?;
+    codegen::generate_with_map(&resolved)
 }
 
 #[cfg(test)]

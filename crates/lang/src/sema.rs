@@ -57,9 +57,26 @@ pub enum RExpr {
     ARef(Box<RExpr>, Box<RExpr>),
 }
 
-/// A resolved statement.
+/// A resolved statement: the lowered operation plus the source span it
+/// came from, threaded through codegen into the bytecode span map so
+/// analyzers can point diagnostics back at source text.
 #[derive(Debug, Clone, PartialEq, Eq)]
-pub enum RStmt {
+pub struct RStmt {
+    /// The source range this statement was lowered from.
+    pub span: Span,
+    /// The lowered operation.
+    pub kind: RStmtKind,
+}
+
+impl RStmt {
+    fn new(span: Span, kind: RStmtKind) -> Self {
+        RStmt { span, kind }
+    }
+}
+
+/// A resolved statement's operation.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum RStmtKind {
     /// Evaluate and store to a place.
     Store(Place, RExpr),
     /// `if` with lowered arms.
@@ -390,26 +407,26 @@ fn lower_stmts(
                 // Resolve the initializer before the name enters scope:
                 // `let x = x;` refers to the outer `x`.
                 let slot = frame.declare(name, *span)?;
-                out.push(RStmt::Store(Place::Local(slot), value));
+                out.push(RStmt::new(*span, RStmtKind::Store(Place::Local(slot), value)));
             }
             Stmt::Assign(name, e, span) => {
                 let place = resolve_var(name, *span, ctx, frame)?;
                 let value = lower_expr(e, ctx, frame)?;
-                out.push(RStmt::Store(place, value));
+                out.push(RStmt::new(*span, RStmtKind::Store(place, value)));
             }
-            Stmt::If(cond, then, els, _) => {
+            Stmt::If(cond, then, els, span) => {
                 let c = lower_expr(cond, ctx, frame)?;
                 let t = lower_block(then, ctx, frame, in_proc)?;
                 let e = match els {
                     Some(b) => lower_block(b, ctx, frame, in_proc)?,
                     None => Vec::new(),
                 };
-                out.push(RStmt::If(c, t, e));
+                out.push(RStmt::new(*span, RStmtKind::If(c, t, e)));
             }
-            Stmt::While(cond, body, _) => {
+            Stmt::While(cond, body, span) => {
                 let c = lower_expr(cond, ctx, frame)?;
                 let b = lower_block(body, ctx, frame, in_proc)?;
-                out.push(RStmt::While(c, b));
+                out.push(RStmt::new(*span, RStmtKind::While(c, b)));
             }
             Stmt::Return(value, span) => {
                 if !in_proc {
@@ -422,7 +439,7 @@ fn lower_stmts(
                     Some(e) => lower_expr(e, ctx, frame)?,
                     None => RExpr::Const(0),
                 };
-                out.push(RStmt::Return(v));
+                out.push(RStmt::new(*span, RStmtKind::Return(v)));
             }
             Stmt::Expr(e, span) => {
                 // Builtin stores are statements, not values.
@@ -444,16 +461,19 @@ fn lower_stmts(
                                 it.next().expect("arity checked"),
                             )
                         };
-                        out.push(RStmt::ASet(base, index, value));
+                        out.push(RStmt::new(*span, RStmtKind::ASet(base, index, value)));
                         continue;
                     }
                 }
                 let v = lower_expr(e, ctx, frame)?;
-                out.push(if last_of_main {
-                    RStmt::Result(v)
-                } else {
-                    RStmt::Eval(v)
-                });
+                out.push(RStmt::new(
+                    *span,
+                    if last_of_main {
+                        RStmtKind::Result(v)
+                    } else {
+                        RStmtKind::Eval(v)
+                    },
+                ));
             }
             Stmt::Block(b) => {
                 out.extend(lower_block(b, ctx, frame, in_proc)?);
@@ -479,27 +499,27 @@ mod tests {
     #[test]
     fn locals_get_sequential_slots() {
         let p = lower("let a = 1; let b = 2; a + b;");
-        assert!(matches!(p.main.body[0], RStmt::Store(Place::Local(0), _)));
-        assert!(matches!(p.main.body[1], RStmt::Store(Place::Local(1), _)));
+        assert!(matches!(p.main.body[0].kind, RStmtKind::Store(Place::Local(0), _)));
+        assert!(matches!(p.main.body[1].kind, RStmtKind::Store(Place::Local(1), _)));
         assert_eq!(p.main.frame_size, 2);
     }
 
     #[test]
     fn sibling_blocks_share_slots() {
         let p = lower("{ let a = 1; a; } { let b = 2; b; }");
-        assert!(matches!(p.main.body[0], RStmt::Store(Place::Local(0), _)));
-        assert!(matches!(p.main.body[2], RStmt::Store(Place::Local(0), _)));
+        assert!(matches!(p.main.body[0].kind, RStmtKind::Store(Place::Local(0), _)));
+        assert!(matches!(p.main.body[2].kind, RStmtKind::Store(Place::Local(0), _)));
     }
 
     #[test]
     fn shadowing_resolves_innermost() {
         let p = lower("let a = 1; { let a = 2; a; } a;");
-        match &p.main.body[2] {
-            RStmt::Eval(RExpr::Load(Place::Local(1))) => {}
+        match &p.main.body[2].kind {
+            RStmtKind::Eval(RExpr::Load(Place::Local(1))) => {}
             other => panic!("{other:?}"),
         }
-        match &p.main.body[3] {
-            RStmt::Result(RExpr::Load(Place::Local(0))) => {}
+        match &p.main.body[3].kind {
+            RStmtKind::Result(RExpr::Load(Place::Local(0))) => {}
             other => panic!("{other:?}"),
         }
     }
@@ -508,8 +528,8 @@ mod tests {
     fn let_initializer_sees_outer_binding() {
         let p = lower("let x = 5; { let x = x; x; }");
         // Inner `let x = x` loads outer slot 0 into new slot 1.
-        match &p.main.body[1] {
-            RStmt::Store(Place::Local(1), RExpr::Load(Place::Local(0))) => {}
+        match &p.main.body[1].kind {
+            RStmtKind::Store(Place::Local(1), RExpr::Load(Place::Local(0))) => {}
             other => panic!("{other:?}"),
         }
     }
@@ -519,8 +539,8 @@ mod tests {
         let p = lower("global g = 7; proc f() { return g; } f();");
         assert_eq!(p.num_globals, 1);
         assert_eq!(p.global_inits.len(), 1);
-        match &p.procs[0].body[0] {
-            RStmt::Return(RExpr::Load(Place::Global(0))) => {}
+        match &p.procs[0].body[0].kind {
+            RStmtKind::Return(RExpr::Load(Place::Global(0))) => {}
             other => panic!("{other:?}"),
         }
     }
@@ -528,7 +548,7 @@ mod tests {
     #[test]
     fn constants_fold() {
         let p = lower("let x = 2 * 3 + 4;");
-        assert!(matches!(p.main.body[0], RStmt::Store(_, RExpr::Const(10))));
+        assert!(matches!(p.main.body[0].kind, RStmtKind::Store(_, RExpr::Const(10))));
         // A folded multiply needs no scratch slot.
         assert_eq!(p.main.scratch, None);
     }
@@ -588,17 +608,17 @@ mod tests {
     #[test]
     fn last_main_expr_is_the_result() {
         let p = lower("1 + 1; 2 + 2;");
-        assert!(matches!(p.main.body[0], RStmt::Eval(_)));
-        assert!(matches!(p.main.body[1], RStmt::Result(_)));
+        assert!(matches!(p.main.body[0].kind, RStmtKind::Eval(_)));
+        assert!(matches!(p.main.body[1].kind, RStmtKind::Result(_)));
     }
 
     #[test]
     fn peek_and_aset_lower_to_memory_ops() {
         let p = lower("poke(0x100, 5); aset(0x100, 2, 6); peek(0x100) + aref(0x100, 2);");
-        assert!(matches!(p.main.body[0], RStmt::ASet(_, _, _)));
-        assert!(matches!(p.main.body[1], RStmt::ASet(_, _, _)));
-        match &p.main.body[2] {
-            RStmt::Result(RExpr::Binary(BinOp::Add, a, b)) => {
+        assert!(matches!(p.main.body[0].kind, RStmtKind::ASet(_, _, _)));
+        assert!(matches!(p.main.body[1].kind, RStmtKind::ASet(_, _, _)));
+        match &p.main.body[2].kind {
+            RStmtKind::Result(RExpr::Binary(BinOp::Add, a, b)) => {
                 assert!(matches!(**a, RExpr::ARef(_, _)));
                 assert!(matches!(**b, RExpr::ARef(_, _)));
             }

@@ -1,0 +1,106 @@
+//! Diagnostics: what a lint pass reports and how it renders.
+//!
+//! Every finding carries the microstore address it is anchored at, the
+//! pass that produced it, and a severity.  Rendering is clippy-style:
+//! a headline, the disassembled word it points at, and indented notes.
+
+use dorado_asm::disasm::disassemble;
+use dorado_asm::PlacedProgram;
+use dorado_base::MicroAddr;
+
+/// How serious a finding is.
+///
+/// * [`Severity::Error`] — the microcode is wrong: it will misbehave on
+///   the machine (or already trips a structural invariant).
+/// * [`Severity::Warning`] — suspicious; legal encodings that are
+///   almost always mistakes.  CI treats these as fatal unless a pass is
+///   named in `DORADO_ULINT_ALLOW`.
+/// * [`Severity::Info`] — informational sites (hold sites, bypassed
+///   hazards, stack excursions) used by the differential validator.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord)]
+pub enum Severity {
+    /// Informational; never fails CI.
+    Info,
+    /// Suspicious; fails CI unless allowed.
+    Warning,
+    /// Definitely wrong; fails CI.
+    Error,
+}
+
+impl Severity {
+    /// The lowercase rendering prefix (`error`, `warning`, `info`).
+    pub fn name(self) -> &'static str {
+        match self {
+            Severity::Error => "error",
+            Severity::Warning => "warning",
+            Severity::Info => "info",
+        }
+    }
+}
+
+/// One finding from one pass.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Diagnostic {
+    /// The pass that produced this finding (e.g. `hold-hazard`).
+    pub pass: &'static str,
+    /// How serious it is.
+    pub severity: Severity,
+    /// The microstore word the finding is anchored at.
+    pub at: MicroAddr,
+    /// The headline message.
+    pub message: String,
+    /// Secondary context lines.
+    pub notes: Vec<String>,
+}
+
+impl Diagnostic {
+    /// A new diagnostic with no notes.
+    pub fn new(
+        pass: &'static str,
+        severity: Severity,
+        at: MicroAddr,
+        message: impl Into<String>,
+    ) -> Self {
+        Diagnostic {
+            pass,
+            severity,
+            at,
+            message: message.into(),
+            notes: Vec::new(),
+        }
+    }
+
+    /// Appends a note line.
+    #[must_use]
+    pub fn note(mut self, note: impl Into<String>) -> Self {
+        self.notes.push(note.into());
+        self
+    }
+
+    /// The clippy-style multi-line rendering:
+    ///
+    /// ```text
+    /// error[branch-window]: branch tests flags clobbered by a relay
+    ///   --> 012.03: T← RM[5] + B, goto .04
+    ///    = note: relay inserted by the placer at 012.02
+    /// ```
+    pub fn render(&self, placed: &PlacedProgram) -> String {
+        let mut out = format!(
+            "{}[{}]: {}\n  --> {}",
+            self.severity.name(),
+            self.pass,
+            self.message,
+            disassemble(self.at, placed.word(self.at)),
+        );
+        for n in &self.notes {
+            out.push_str("\n   = note: ");
+            out.push_str(n);
+        }
+        out
+    }
+
+    /// A compact one-line form for microstore-listing annotations.
+    pub fn render_line(&self) -> String {
+        format!("{}[{}]: {}", self.severity.name(), self.pass, self.message)
+    }
+}

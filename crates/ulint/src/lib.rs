@@ -1,0 +1,154 @@
+#![forbid(unsafe_code)]
+//! `dorado-ulint`: a static analyzer for Dorado microcode.
+//!
+//! The Dorado paper's hazards — Hold stalls (§3.2), the late branch
+//! window (§3.1), the 64-word emulator stack (§6.3.3), the overloaded
+//! FF field (§5.5) and the shared small registers across tasks (§6.2)
+//! — are all *timing* properties the assembler cannot check word by
+//! word.  This crate checks them statically: it builds a control-flow
+//! graph over a placed microstore image ([`Cfg`]), runs a small
+//! abstract-interpretation framework over it ([`analysis`]), and
+//! reports findings as clippy-style diagnostics anchored to microstore
+//! addresses ([`Diagnostic`]).
+//!
+//! The pass set ([`passes::all_passes`]):
+//!
+//! | pass | finds |
+//! |------|-------|
+//! | `ff-conflict` | structural placement violations plus decode-level FF double-claims |
+//! | `hold-hazard` | definite/possible Hold sites, bypassed RAW pairs, fetch-less MEMDATA reads |
+//! | `branch-window` | latched-flag branches whose flags a relay or callee clobbers |
+//! | `stack-depth` | unbounded or >64-word emulator stack excursions |
+//! | `task-safety` | shared COUNT/Q/SHIFTCTL/STACKPTR values live across task switches |
+//! | `dead-code` | unreachable words and never-taken CNT=0 branch arms |
+//!
+//! The hold and stack site sets mirror the simulator's own checks, so
+//! they are *validated differentially*: running a workload and mapping
+//! every observed Hold or stack-error event back to a predicted site
+//! must never miss (EXPERIMENTS.md E18).
+//!
+//! # Examples
+//!
+//! ```
+//! use dorado_asm::{Assembler, Inst};
+//!
+//! let mut a = Assembler::new();
+//! a.label("boot");
+//! a.emit(Inst::new().goto_("boot"));
+//! let placed = a.place().unwrap();
+//! let report = dorado_ulint::lint(&placed);
+//! assert_eq!(report.errors(), 0);
+//! ```
+
+pub mod analysis;
+pub mod bytecode;
+pub mod cfg;
+pub mod diag;
+pub mod differential;
+pub mod passes;
+
+use std::time::Duration;
+
+use dorado_asm::PlacedProgram;
+use dorado_base::MicroAddr;
+
+pub use cfg::Cfg;
+pub use diag::{Diagnostic, Severity};
+pub use passes::hold::{hold_sites, HoldSites};
+pub use passes::stack_depth::stack_sites;
+pub use passes::{all_passes, Pass, PassCtx};
+
+/// Label prefixes that mark I/O-task microcode entries; all other
+/// labels are emulator-task code (the label conventions are set by the
+/// device modules in `dorado-emu`).
+pub const IO_PREFIXES: &[&str] = &[
+    "disk:", "diskw:", "disp:", "disp3:", "synthf:", "synths:", "net:", "eserv:", "clic:",
+    "clid:",
+];
+
+/// Which labelled entries belong to which task class.
+#[derive(Debug, Clone, Default)]
+pub struct LintConfig {
+    /// Emulator-task entry labels and addresses.
+    pub emu_roots: Vec<(String, MicroAddr)>,
+    /// I/O-task entry labels and addresses.
+    pub io_roots: Vec<(String, MicroAddr)>,
+}
+
+impl LintConfig {
+    /// Classifies every label in `placed` by the [`IO_PREFIXES`]
+    /// convention.
+    pub fn infer(placed: &PlacedProgram) -> Self {
+        let mut config = LintConfig::default();
+        for (label, addr) in placed.labels() {
+            let dest = if IO_PREFIXES.iter().any(|p| label.starts_with(p)) {
+                &mut config.io_roots
+            } else {
+                &mut config.emu_roots
+            };
+            dest.push((label.to_string(), addr));
+        }
+        config.emu_roots.sort();
+        config.io_roots.sort();
+        config
+    }
+}
+
+/// The result of linting one placed image.
+#[derive(Debug, Default)]
+pub struct LintReport {
+    /// Every finding, in pass order then address order.
+    pub diags: Vec<Diagnostic>,
+    /// Wall-clock time spent in each pass.
+    pub timings: Vec<(&'static str, Duration)>,
+}
+
+impl LintReport {
+    /// Number of error-severity findings.
+    pub fn errors(&self) -> usize {
+        self.count(Severity::Error)
+    }
+
+    /// Number of warning-severity findings.
+    pub fn warnings(&self) -> usize {
+        self.count(Severity::Warning)
+    }
+
+    /// Number of findings at `severity`.
+    pub fn count(&self, severity: Severity) -> usize {
+        self.diags.iter().filter(|d| d.severity == severity).count()
+    }
+
+    /// The findings from one pass.
+    pub fn by_pass<'a>(&'a self, pass: &'a str) -> impl Iterator<Item = &'a Diagnostic> {
+        self.diags.iter().filter(move |d| d.pass == pass)
+    }
+}
+
+/// Lints `placed` with roots inferred from its labels.
+pub fn lint(placed: &PlacedProgram) -> LintReport {
+    lint_with_config(placed, &LintConfig::infer(placed))
+}
+
+/// Lints `placed` with an explicit root classification.
+pub fn lint_with_config(placed: &PlacedProgram, config: &LintConfig) -> LintReport {
+    let cfg = Cfg::build(placed);
+    let emu: Vec<MicroAddr> = config.emu_roots.iter().map(|&(_, a)| a).collect();
+    let io: Vec<MicroAddr> = config.io_roots.iter().map(|&(_, a)| a).collect();
+    let emu_reach = cfg.reach(&emu);
+    let io_reach = cfg.reach(&io);
+    let ctx = PassCtx {
+        placed,
+        cfg: &cfg,
+        config,
+        emu_reach: &emu_reach,
+        io_reach: &io_reach,
+    };
+    let mut report = LintReport::default();
+    for pass in all_passes() {
+        let start = std::time::Instant::now();
+        report.diags.extend(pass.run(&ctx));
+        report.timings.push((pass.name(), start.elapsed()));
+    }
+    report
+}

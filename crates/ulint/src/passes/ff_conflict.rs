@@ -1,0 +1,121 @@
+//! FF-field conflict analysis (§5.5): the FF catchall field is a
+//! constant source, a page number, or a function, and one word can only
+//! mean one of those.  The structural placement checks
+//! (`dorado_asm::verify`) are folded in here as the first layer; on top
+//! of them this pass catches the semantic double-claims the structural
+//! pass cannot see:
+//!
+//! * `IFULOADPC` together with `IFUJUMP` — the machine's decoder
+//!   rejects the combination at runtime (the PC would be loaded and
+//!   dispatched in one cycle); statically it encodes fine.
+//! * A `DISPATCH8` word: its FF carries the table's page number, but
+//!   the decoder *also* executes FF as a function.  If the page number
+//!   happens to decode to a state-writing function the dispatch
+//!   silently clobbers machine state; if it decodes to a register read
+//!   it overrides the ALU result being written back.
+
+use dorado_asm::verify::verify;
+use dorado_asm::{ControlOp, FfOp};
+
+use crate::diag::{Diagnostic, Severity};
+
+use super::{ff_function, Pass, PassCtx};
+
+/// Whether executing `op` as an FF function writes machine state.
+fn writes_state(op: FfOp) -> bool {
+    !matches!(
+        op,
+        FfOp::Nop
+            | FfOp::ReadRBase
+            | FfOp::ReadStackPtr
+            | FfOp::ReadCount
+            | FfOp::ReadShiftCtl
+            | FfOp::ReadLink
+            | FfOp::ReadQ
+            | FfOp::ReadMemBase
+            | FfOp::ReadIoAddress
+            | FfOp::ReadBase
+            | FfOp::ReadTpc
+            | FfOp::IfuReadPc
+            | FfOp::ShOut
+            | FfOp::ShOutZ
+            | FfOp::ShOutM
+    )
+}
+
+/// The ff-conflict pass (structural verification plus decode-conflict
+/// generalizations).
+pub struct FfConflict;
+
+impl Pass for FfConflict {
+    fn name(&self) -> &'static str {
+        "ff-conflict"
+    }
+
+    fn run(&self, ctx: &PassCtx<'_>) -> Vec<Diagnostic> {
+        let mut out = Vec::new();
+        // Layer 1: the structural placement checks, deduplicated.
+        let mut seen = Vec::new();
+        for v in verify(ctx.placed) {
+            let key = (v.at, v.what.clone());
+            if seen.contains(&key) {
+                continue;
+            }
+            out.push(Diagnostic::new(
+                self.name(),
+                Severity::Error,
+                v.at,
+                v.what.clone(),
+            ));
+            seen.push(key);
+        }
+        // Layer 2: decode-level double-claims.
+        for node in ctx.cfg.iter() {
+            let control = node.word.control();
+            if ff_function(node.word) == Some(FfOp::IfuLoadPc)
+                && matches!(control, Ok(ControlOp::IfuJump))
+            {
+                out.push(
+                    Diagnostic::new(
+                        self.name(),
+                        Severity::Error,
+                        node.addr,
+                        "FF function IFULOADPC conflicts with IFUJUMP in the same word",
+                    )
+                    .note("the decoder rejects loading and dispatching the PC in one cycle"),
+                );
+            }
+            if matches!(control, Ok(ControlOp::Dispatch8 { .. })) {
+                if let Ok(op) = FfOp::decode(node.word.ff()) {
+                    let loads = node
+                        .word
+                        .load_control()
+                        .is_ok_and(|l| l.loads_t() || l.loads_rm());
+                    if writes_state(op) {
+                        out.push(
+                            Diagnostic::new(
+                                self.name(),
+                                Severity::Error,
+                                node.addr,
+                                format!(
+                                    "DISPATCH8 table page doubles as FF function {op:?}, which writes machine state"
+                                ),
+                            )
+                            .note("move the dispatch table to a page whose number decodes to a harmless function"),
+                        );
+                    } else if op.drives_result() && loads {
+                        out.push(Diagnostic::new(
+                            self.name(),
+                            Severity::Warning,
+                            node.addr,
+                            format!(
+                                "DISPATCH8 table page doubles as FF function {op:?}, overriding the value written back"
+                            ),
+                        ));
+                    }
+                }
+            }
+        }
+        out
+    }
+}

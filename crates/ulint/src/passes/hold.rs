@@ -1,0 +1,224 @@
+//! Hold-hazard analysis (§3.2, §4.2): find every word that can stall
+//! the processor by touching a resource that may not be ready, and
+//! classify each site.
+//!
+//! The site set mirrors the simulator's `check_hold` exactly, so it is
+//! sound by construction: any Hold the machine raises dynamically must
+//! land on a statically listed site (the differential validator in
+//! EXPERIMENTS.md E18 asserts this).
+//!
+//! Classification:
+//! * **definite** — the word consumes MEMDATA and an immediate
+//!   predecessor starts the fetch; the cache cannot answer in zero
+//!   cycles, so Hold *will* occur on that path.
+//! * **possible** — the stall depends on dynamic state (pipe busy,
+//!   cache miss, IFU buffer empty).
+//! * **bypassed** — a same-cycle RAW hazard on T/RM/Q that the bypass
+//!   network (§4.2) hides; no Hold, reported for visibility.
+//!
+//! One genuine defect is reported: a word that consumes MEMDATA when no
+//! path from any root has started a fetch — the read returns stale or
+//! undefined data (Warning).
+
+use dorado_asm::{ASel, BSel, FfOp, LoadControl, Microword};
+use dorado_base::{HoldCause, MicroAddr};
+
+use crate::analysis::{fixpoint, Domain};
+use crate::cfg::{Cfg, Node};
+use crate::diag::{Diagnostic, Severity};
+
+use super::{ff_function, Pass, PassCtx};
+
+/// The statically predicted hold sites, per cause.
+pub struct HoldSites {
+    /// `by_cause[cause.index()]` lists every word where that cause can
+    /// raise Hold.
+    pub by_cause: [Vec<MicroAddr>; HoldCause::COUNT],
+}
+
+impl HoldSites {
+    /// Whether `addr` is a predicted site for `cause`.
+    pub fn predicts(&self, cause: HoldCause, addr: MicroAddr) -> bool {
+        self.by_cause[cause.index()].contains(&addr)
+    }
+}
+
+/// Whether `word` can raise Hold for `cause`, mirroring `check_hold`.
+pub fn can_hold(word: Microword, cause: HoldCause) -> bool {
+    let Ok(asel) = word.asel() else { return false };
+    let Ok(bsel) = word.bsel() else { return false };
+    let ff = ff_function(word);
+    match cause {
+        HoldCause::MemData => bsel == BSel::MemData || ff == Some(FfOp::ShOutM),
+        HoldCause::IfuOperand => asel.uses_ifudata(),
+        HoldCause::MemPipe => asel.is_fetch(),
+        HoldCause::MemStorage => {
+            asel.starts_memory_ref() || matches!(ff, Some(FfOp::IoFetch16 | FfOp::IoStore16))
+        }
+        HoldCause::IfuDispatch => {
+            matches!(word.control(), Ok(dorado_asm::ControlOp::IfuJump))
+        }
+    }
+}
+
+/// Computes the full static site set over the CFG.
+pub fn hold_sites(cfg: &Cfg) -> HoldSites {
+    let mut by_cause: [Vec<MicroAddr>; HoldCause::COUNT] = Default::default();
+    for node in cfg.iter() {
+        for cause in HoldCause::ALL {
+            if can_hold(node.word, cause) {
+                by_cause[cause.index()].push(node.addr);
+            }
+        }
+    }
+    HoldSites { by_cause }
+}
+
+/// Forward "a fetch may have started on some path to here" analysis.
+struct FetchStarted;
+
+impl Domain for FetchStarted {
+    type Value = bool;
+    fn entry(&self) -> bool {
+        false
+    }
+    fn join(&self, a: &bool, b: &bool) -> bool {
+        *a || *b
+    }
+    fn transfer(&self, node: &Node, v: &bool) -> bool {
+        *v || node.word.asel().is_ok_and(|a| a.is_fetch())
+    }
+}
+
+/// Does `next` read a value `prev` loads in the same cycle window — the
+/// §4.2 bypass cases (T, RM same address, Q)?  Mirrors the assembler's
+/// `hazard` predicate at the placed-word level.
+fn bypassed_pair(prev: Microword, next: Microword) -> Option<&'static str> {
+    let prev_load = prev.load_control().unwrap_or(LoadControl::None);
+    let (Ok(next_asel), Ok(next_bsel)) = (next.asel(), next.bsel()) else {
+        return None;
+    };
+    let next_ff = ff_function(next);
+    let next_shifts = matches!(next_ff, Some(FfOp::ShOut | FfOp::ShOutZ | FfOp::ShOutM));
+    if prev_load.loads_t() && (next_asel.reads_t() || next_bsel == BSel::T || next_shifts) {
+        return Some("T");
+    }
+    if prev_load.loads_rm()
+        && !prev.block()
+        && !next.block()
+        && next.raddr() == prev.raddr()
+        && (next_asel.reads_rm() || next_bsel == BSel::Rm || next_shifts)
+    {
+        return Some("RM");
+    }
+    let prev_writes_q = matches!(
+        ff_function(prev),
+        Some(FfOp::LoadQ | FfOp::MulStep | FfOp::DivStep)
+    );
+    if prev_writes_q
+        && (next_bsel == BSel::Q
+            || matches!(next_ff, Some(FfOp::ReadQ | FfOp::MulStep | FfOp::DivStep)))
+    {
+        return Some("Q");
+    }
+    None
+}
+
+/// The hold-hazard pass.
+pub struct HoldHazard;
+
+impl Pass for HoldHazard {
+    fn name(&self) -> &'static str {
+        "hold-hazard"
+    }
+
+    fn run(&self, ctx: &PassCtx<'_>) -> Vec<Diagnostic> {
+        let mut out = Vec::new();
+        let mut roots = ctx.emu_roots();
+        roots.extend(ctx.io_roots());
+        let fetched = fixpoint(ctx.cfg, &roots, &FetchStarted, 4);
+        for node in ctx.cfg.iter() {
+            // MEMDATA consumers: definite after an adjacent fetch,
+            // possible otherwise; a consumer no fetch can precede is a
+            // genuine defect.
+            if can_hold(node.word, HoldCause::MemData) {
+                let adjacent_fetch = node
+                    .preds
+                    .iter()
+                    .any(|&p| ctx.cfg.node(p).is_some_and(|n| n.word.asel().is_ok_and(ASel::is_fetch)));
+                if adjacent_fetch {
+                    out.push(Diagnostic::new(
+                        self.name(),
+                        Severity::Info,
+                        node.addr,
+                        "definite Hold: consumes MEMDATA in the cycle after the fetch starts",
+                    ));
+                } else if fetched.input(node.addr) == Some(&false) {
+                    out.push(
+                        Diagnostic::new(
+                            self.name(),
+                            Severity::Warning,
+                            node.addr,
+                            "reads MEMDATA but no path from any task entry starts a fetch first",
+                        )
+                        .note("the read returns whatever the last memory reference left behind"),
+                    );
+                } else {
+                    out.push(Diagnostic::new(
+                        self.name(),
+                        Severity::Info,
+                        node.addr,
+                        "possible Hold: consumes MEMDATA (stalls until the fetch completes)",
+                    ));
+                }
+            }
+            if can_hold(node.word, HoldCause::IfuOperand) {
+                out.push(Diagnostic::new(
+                    self.name(),
+                    Severity::Info,
+                    node.addr,
+                    "possible Hold: reads IFU operand bytes (stalls while the buffer is empty)",
+                ));
+            }
+            if can_hold(node.word, HoldCause::IfuDispatch) {
+                out.push(Diagnostic::new(
+                    self.name(),
+                    Severity::Info,
+                    node.addr,
+                    "possible Hold: IFUJUMP (stalls until an opcode is decoded)",
+                ));
+            }
+            if can_hold(node.word, HoldCause::MemPipe) {
+                out.push(Diagnostic::new(
+                    self.name(),
+                    Severity::Info,
+                    node.addr,
+                    "possible Hold: starts a fetch (stalls while the memory pipe is busy)",
+                ));
+            } else if can_hold(node.word, HoldCause::MemStorage) {
+                out.push(Diagnostic::new(
+                    self.name(),
+                    Severity::Info,
+                    node.addr,
+                    "possible Hold: memory reference (stalls while storage is busy)",
+                ));
+            }
+            // Bypassed same-cycle RAW hazards: no Hold, by §4.2.
+            for &p in &node.preds {
+                let Some(prev) = ctx.cfg.node(p) else { continue };
+                if let Some(what) = bypassed_pair(prev.word, node.word) {
+                    out.push(
+                        Diagnostic::new(
+                            self.name(),
+                            Severity::Info,
+                            node.addr,
+                            format!("bypassed: reads {what} loaded by {p} in the previous cycle"),
+                        )
+                        .note("the bypass network forwards the value; no Hold occurs"),
+                    );
+                }
+            }
+        }
+        out
+    }
+}

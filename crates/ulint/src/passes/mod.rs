@@ -1,0 +1,94 @@
+//! The lint passes and the context they share.
+
+use dorado_asm::{ControlOp, FfOp, Microword, PlacedProgram};
+use dorado_base::MicroAddr;
+
+use crate::cfg::Cfg;
+use crate::diag::Diagnostic;
+use crate::LintConfig;
+
+pub mod branch_window;
+pub mod dead_code;
+pub mod ff_conflict;
+pub mod hold;
+pub mod stack_depth;
+pub mod task_safety;
+
+/// Everything a pass gets to look at.
+pub struct PassCtx<'a> {
+    /// The placed image.
+    pub placed: &'a PlacedProgram,
+    /// The control-flow graph over it.
+    pub cfg: &'a Cfg,
+    /// Root classification (emulator-task vs I/O-task entries).
+    pub config: &'a LintConfig,
+    /// Words reachable from emulator-task roots (dense, by raw address).
+    pub emu_reach: &'a [bool],
+    /// Words reachable from I/O-task roots.
+    pub io_reach: &'a [bool],
+}
+
+impl PassCtx<'_> {
+    /// Emulator-task root addresses.
+    pub fn emu_roots(&self) -> Vec<MicroAddr> {
+        self.config.emu_roots.iter().map(|&(_, a)| a).collect()
+    }
+
+    /// I/O-task root addresses.
+    pub fn io_roots(&self) -> Vec<MicroAddr> {
+        self.config.io_roots.iter().map(|&(_, a)| a).collect()
+    }
+}
+
+/// One analysis pass.
+pub trait Pass {
+    /// The pass name used in diagnostics and `DORADO_ULINT_ALLOW`.
+    fn name(&self) -> &'static str;
+    /// Runs the pass and returns its findings.
+    fn run(&self, ctx: &PassCtx<'_>) -> Vec<Diagnostic>;
+}
+
+/// All passes, in reporting order.
+pub fn all_passes() -> Vec<Box<dyn Pass>> {
+    vec![
+        Box::new(ff_conflict::FfConflict),
+        Box::new(hold::HoldHazard),
+        Box::new(branch_window::BranchWindow),
+        Box::new(stack_depth::StackDepth),
+        Box::new(task_safety::TaskSafety),
+        Box::new(dead_code::DeadCode),
+    ]
+}
+
+/// The FF field of `word` as the function the machine will execute, or
+/// `None` when FF is claimed as a constant or a page number instead
+/// (mirrors the decode rule in `dorado-core`).
+pub fn ff_function(word: Microword) -> Option<FfOp> {
+    let bsel = word.bsel().ok()?;
+    let control = word.control().ok()?;
+    if bsel.is_constant() || control.uses_ff_page() {
+        return None;
+    }
+    FfOp::decode(word.ff()).ok()
+}
+
+/// Whether `word` is a conditional branch on a latched ALU flag
+/// (ALU=0, ALU<0, Carry, Overflow, R odd) — the conditions that read
+/// the *previous* instruction's branch-condition register.  The live
+/// tests (CNT=0, IOAtten, StkErr) are excluded.
+pub fn flag_branch(word: Microword) -> Option<dorado_asm::Cond> {
+    use dorado_asm::Cond;
+    match word.control() {
+        Ok(ControlOp::CondGoto { cond, .. }) => match cond {
+            Cond::Zero | Cond::Neg | Cond::Carry | Cond::Overflow | Cond::ROdd => Some(cond),
+            Cond::CntZero | Cond::IoAtten | Cond::StackError => None,
+        },
+        _ => None,
+    }
+}
+
+/// Whether `word` is an emulator stack operation (BLOCK set; on task 0
+/// the RADDR field encodes a stack-pointer delta, §6.3.3).
+pub fn is_stack_op(word: Microword) -> bool {
+    word.block()
+}

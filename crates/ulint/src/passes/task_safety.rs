@@ -1,0 +1,222 @@
+//! Task-safety analysis (§6.2): the Dorado multiplexes one datapath
+//! between sixteen tasks, and while T, RBASE, MEMBASE, IOADDRESS and
+//! the branch flags are task-specific, the small registers COUNT, Q,
+//! SHIFTCTL and STACKPTR are **shared** — a task switch does not save
+//! them.  A value one task leaves in a shared register is silently
+//! clobbered when another task that uses the same register runs.
+//!
+//! When each task can be interrupted differs:
+//!
+//! * the **emulator task** is the lowest-priority task; any I/O wakeup
+//!   preempts it at any microinstruction boundary, so *every* emulator
+//!   read of a shared register is vulnerable if any I/O handler writes
+//!   that register;
+//! * an **I/O task** runs until it blocks (or a higher-priority task
+//!   preempts it), so an I/O read is vulnerable when the value may have
+//!   been set before a BLOCK yield — tracked by a small dataflow pass —
+//!   or before the wakeup that entered the handler.
+//!
+//! Stack operations read and write STACKPTR but execute only on the
+//! emulator task (BLOCK on an I/O task is a yield, not a stack op).
+
+use dorado_asm::{BSel, Cond, ControlOp, FfOp, Microword};
+use dorado_base::MicroAddr;
+
+use crate::analysis::{fixpoint, Domain};
+use crate::cfg::Node;
+use crate::diag::{Diagnostic, Severity};
+
+use super::{ff_function, is_stack_op, Pass, PassCtx};
+
+/// The shared (not per-task) small registers.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+enum SharedReg {
+    Count,
+    Q,
+    ShiftCtl,
+    StackPtr,
+}
+
+impl SharedReg {
+    const ALL: [SharedReg; 4] = [
+        SharedReg::Count,
+        SharedReg::Q,
+        SharedReg::ShiftCtl,
+        SharedReg::StackPtr,
+    ];
+
+    fn name(self) -> &'static str {
+        match self {
+            SharedReg::Count => "COUNT",
+            SharedReg::Q => "Q",
+            SharedReg::ShiftCtl => "SHIFTCTL",
+            SharedReg::StackPtr => "STACKPTR",
+        }
+    }
+}
+
+/// Whether `word` writes `reg` (`emu` selects the emulator-task reading
+/// of the BLOCK bit, where it is a stack operation).
+fn writes(word: Microword, reg: SharedReg, emu: bool) -> bool {
+    let ff = ff_function(word);
+    match reg {
+        SharedReg::Count => matches!(
+            ff,
+            Some(FfOp::LoadCount | FfOp::LoadCountImm(_) | FfOp::DecCount)
+        ),
+        SharedReg::Q => matches!(ff, Some(FfOp::LoadQ | FfOp::MulStep | FfOp::DivStep)),
+        SharedReg::ShiftCtl => matches!(ff, Some(FfOp::LoadShiftCtl | FfOp::ShiftCtlImm(_))),
+        SharedReg::StackPtr => {
+            matches!(ff, Some(FfOp::LoadStackPtr))
+                || (emu && is_stack_op(word) && word.stack_delta() != 0)
+        }
+    }
+}
+
+/// Whether `word` reads `reg`.
+fn reads(word: Microword, reg: SharedReg, emu: bool) -> bool {
+    let ff = ff_function(word);
+    let bsel = word.bsel().ok();
+    match reg {
+        SharedReg::Count => {
+            matches!(ff, Some(FfOp::ReadCount | FfOp::DecCount))
+                || matches!(
+                    word.control(),
+                    Ok(ControlOp::CondGoto {
+                        cond: Cond::CntZero,
+                        ..
+                    })
+                )
+        }
+        SharedReg::Q => {
+            bsel == Some(BSel::Q)
+                || matches!(ff, Some(FfOp::ReadQ | FfOp::MulStep | FfOp::DivStep))
+        }
+        SharedReg::ShiftCtl => matches!(
+            ff,
+            Some(FfOp::ReadShiftCtl | FfOp::ShOut | FfOp::ShOutZ | FfOp::ShOutM)
+        ),
+        SharedReg::StackPtr => {
+            matches!(ff, Some(FfOp::ReadStackPtr)) || (emu && is_stack_op(word))
+        }
+    }
+}
+
+/// Forward "the register may hold a value from before a yield" analysis
+/// for one register inside one I/O handler region.  At the handler
+/// entry the register holds whatever ran before the wakeup; a write
+/// makes it fresh; a BLOCK yield (the FF executes first, then the task
+/// sleeps) makes it stale again.
+struct Stale(SharedReg);
+
+impl Domain for Stale {
+    type Value = bool;
+    fn entry(&self) -> bool {
+        true
+    }
+    fn join(&self, a: &bool, b: &bool) -> bool {
+        *a || *b
+    }
+    fn transfer(&self, node: &Node, v: &bool) -> bool {
+        if node.word.block() {
+            true
+        } else if writes(node.word, self.0, false) {
+            false
+        } else {
+            *v
+        }
+    }
+}
+
+/// A task region: one reachability footprint that runs as one task.
+struct Region {
+    label: String,
+    emu: bool,
+    root: Option<MicroAddr>,
+    reach: Vec<bool>,
+}
+
+/// The task-safety pass.
+pub struct TaskSafety;
+
+impl Pass for TaskSafety {
+    fn name(&self) -> &'static str {
+        "task-safety"
+    }
+
+    fn run(&self, ctx: &PassCtx<'_>) -> Vec<Diagnostic> {
+        let mut out = Vec::new();
+        let mut regions = vec![Region {
+            label: "the emulator task".into(),
+            emu: true,
+            root: None,
+            reach: ctx.emu_reach.to_vec(),
+        }];
+        for (label, addr) in &ctx.config.io_roots {
+            regions.push(Region {
+                label: format!("I/O task `{label}`"),
+                emu: false,
+                root: Some(*addr),
+                reach: ctx.cfg.reach(&[*addr]),
+            });
+        }
+        for reg in SharedReg::ALL {
+            // Write sites per region.
+            let writers: Vec<Vec<MicroAddr>> = regions
+                .iter()
+                .map(|r| {
+                    ctx.cfg
+                        .iter()
+                        .filter(|n| r.reach[n.addr.raw() as usize])
+                        .filter(|n| writes(n.word, reg, r.emu))
+                        .map(|n| n.addr)
+                        .collect()
+                })
+                .collect();
+            for (i, region) in regions.iter().enumerate() {
+                // The first write of `reg` by any *other* region, if any.
+                let clobber = regions
+                    .iter()
+                    .enumerate()
+                    .filter(|&(j, _)| j != i)
+                    .find_map(|(j, other)| writers[j].first().map(|&a| (other.label.clone(), a)));
+                let Some((by, at)) = clobber else { continue };
+                // Inside an I/O handler only reads of a possibly-stale
+                // value are vulnerable; the emulator is preemptible
+                // everywhere, so every read is.
+                let stale = region
+                    .root
+                    .map(|root| fixpoint(ctx.cfg, &[root], &Stale(reg), 4));
+                let site = ctx.cfg.iter().find(|n| {
+                    region.reach[n.addr.raw() as usize]
+                        && reads(n.word, reg, region.emu)
+                        && n.addr != at
+                        && stale
+                            .as_ref()
+                            .is_none_or(|s| s.input(n.addr) == Some(&true))
+                });
+                if let Some(node) = site {
+                    out.push(
+                        Diagnostic::new(
+                            self.name(),
+                            Severity::Error,
+                            node.addr,
+                            format!(
+                                "{} is read by {} but {by} writes it at {at}; the value does \
+                                 not survive a task switch",
+                                reg.name(),
+                                region.label,
+                            ),
+                        )
+                        .note(
+                            "COUNT, Q, SHIFTCTL and STACKPTR are shared across tasks (§6.2); \
+                             keep the value in T or an RM cell, or ensure only one task uses \
+                             the register",
+                        ),
+                    );
+                }
+            }
+        }
+        out
+    }
+}

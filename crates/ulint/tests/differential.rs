@@ -1,0 +1,34 @@
+//! E18 differential validation as a test: run the workstation workload
+//! and the stack-underflow probe, asserting the static hazard model has
+//! no false negatives against the simulator's dynamic events.
+
+use dorado_ulint::differential::{run_stack_underflow, run_workstation};
+
+/// Every Hold the workstation run raises lands on a statically
+/// predicted site for its cause, and the workload is not vacuous (it
+/// exercises Hold and finishes the foreground computation).
+#[test]
+fn workstation_holds_are_all_predicted() {
+    let out = run_workstation(2_000_000).expect("workstation builds");
+    assert_eq!(out.tos, 610, "fib(15) did not complete");
+    assert!(
+        out.sound(),
+        "unsound: missed holds {:?}, missed stack {:?}",
+        out.missed_holds,
+        out.missed_stack
+    );
+    let held: u64 = out.causes.iter().map(|t| t.held_cycles).sum();
+    assert!(held > 0, "the workload never exercised Hold");
+    let exercised: usize = out.causes.iter().map(|t| t.exercised).sum();
+    let predicted: usize = out.causes.iter().map(|t| t.predicted).sum();
+    assert!(exercised > 0 && exercised <= predicted);
+}
+
+/// The stack-error direction is exercised, not vacuous: a deliberate
+/// underflow trips the checker on a predicted site.
+#[test]
+fn stack_underflow_lands_on_predicted_site() {
+    let out = run_stack_underflow(100_000).expect("probe builds");
+    assert!(out.stack_events > 0, "the probe never tripped stack-error");
+    assert!(out.sound(), "missed stack sites: {:?}", out.missed_stack);
+}

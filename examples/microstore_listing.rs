@@ -1,12 +1,12 @@
 //! Dump the placed microstore of the full suite: a disassembled listing
-//! with placement statistics, the artifact Ed Fiala's debugger would show.
+//! with placement statistics and the static analyzer's findings
+//! interleaved — the artifact Ed Fiala's debugger would show.
 //!
 //! ```sh
 //! cargo run --example microstore_listing | less
 //! ```
 
-use dorado::asm::disasm::disassemble;
-use dorado::asm::placer::SlotUse;
+use dorado::asm::disasm::disassemble_annotated;
 use dorado::base::MicroAddr;
 use dorado::emu::SuiteBuilder;
 
@@ -24,37 +24,21 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
         stats.utilization() * 100.0
     );
 
-    // Invert the label map for annotation.
-    let mut labels: Vec<(MicroAddr, &str)> = placed.labels().map(|(n, a)| (a, n)).collect();
-    labels.sort();
-    let label_at = |addr: MicroAddr| -> Vec<&str> {
-        labels
-            .iter()
-            .filter(|(a, _)| *a == addr)
-            .map(|(_, n)| *n)
-            .collect()
-    };
+    // Lint the image and hang each finding off the word it refers to.
+    let report = dorado::ulint::lint(placed);
+    let notes: Vec<(MicroAddr, String)> = report
+        .diags
+        .iter()
+        .map(|d| (d.at, d.render_line()))
+        .collect();
+    print!("{}", disassemble_annotated(placed, &notes));
 
-    let mut shown = 0usize;
-    for (i, slot) in placed.uses().iter().enumerate() {
-        let addr = MicroAddr::new(i as u16);
-        match slot {
-            SlotUse::Empty => continue,
-            SlotUse::Waste => {
-                println!("{addr}:  ; (padding)");
-            }
-            SlotUse::Relay(target) => {
-                println!("{}  ; relay -> {target}", disassemble(addr, placed.word(addr)));
-            }
-            SlotUse::Inst(_) => {
-                for l in label_at(addr) {
-                    println!("{l}:");
-                }
-                println!("{}", disassemble(addr, placed.word(addr)));
-            }
-        }
-        shown += 1;
-    }
-    println!("\n; {shown} words listed");
+    println!(
+        "\n; {} words listed; ulint: {} error(s), {} warning(s), {} info",
+        placed.words_used(),
+        report.errors(),
+        report.warnings(),
+        report.count(dorado::ulint::Severity::Info)
+    );
     Ok(())
 }

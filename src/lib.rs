@@ -17,6 +17,7 @@
 //! | [`emu`]  | `dorado-emu`  | Mesa/Lisp/BCPL/Smalltalk microcode, BitBlt |
 //! | [`cluster`] | `dorado-cluster` | Ethernet fabric, epoch-parallel executor, RPC workloads |
 //! | [`lang`] | `dorado-lang` | a Mesa-like source language compiling to the byte codes |
+//! | [`ulint`] | `dorado-ulint` | microcode static analyzer with simulator-validated hazard lints |
 //!
 //! # Example
 //!
@@ -51,3 +52,4 @@ pub use dorado_ifu as ifu;
 pub use dorado_lang as lang;
 pub use dorado_io as io;
 pub use dorado_mem as mem;
+pub use dorado_ulint as ulint;
