@@ -25,6 +25,7 @@
 pub mod bits;
 pub mod check;
 pub mod clock;
+pub mod crc;
 pub mod hold;
 pub mod metrics;
 pub mod report;

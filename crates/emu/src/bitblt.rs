@@ -332,9 +332,9 @@ pub struct BitRect {
     pub x: u16,
     /// Top edge in scanlines.
     pub y: u16,
-    /// Width in bits (≥ 1).
+    /// Width in bits (0 plans an empty fill).
     pub w: u16,
-    /// Height in scanlines (≥ 1).
+    /// Height in scanlines (0 plans an empty fill).
     pub h: u16,
 }
 
@@ -360,13 +360,17 @@ pub enum FillStep {
 
 /// Decomposes a bit-aligned rectangle fill into at most three steps:
 /// left masked edge, whole-word interior, right masked edge.  A
-/// rectangle inside a single word becomes one `Edge` step.
+/// rectangle inside a single word becomes one `Edge` step; a zero-width
+/// or zero-height rectangle plans no steps at all (an empty fill is a
+/// no-op, the convention every raster API caller expects).
 ///
 /// # Panics
 ///
-/// Panics on degenerate geometry or a rectangle that overruns its pitch.
+/// Panics on a rectangle that overruns its pitch.
 pub fn plan_fill_bits(r: &BitRect) -> Vec<FillStep> {
-    assert!(r.w >= 1 && r.h >= 1, "degenerate bit rectangle");
+    if r.w == 0 || r.h == 0 {
+        return Vec::new();
+    }
     assert!(
         u32::from(r.x) + u32::from(r.w) <= u32::from(r.pitch) * 16,
         "rectangle overruns the scanline"

@@ -15,7 +15,7 @@
 //! wakeup) that sets the task-specific RBASE and MEMBASE, then falls into
 //! its steady-state loop; `Block` leaves TPC at the loop head.
 
-use dorado_asm::{ASel, Assembler, AluOp, BSel, FfOp, Inst};
+use dorado_asm::{ASel, Assembler, AluOp, BSel, Cond, FfOp, Inst};
 
 use crate::layout::*;
 
@@ -191,6 +191,82 @@ pub fn emit_network_rx(a: &mut Assembler) {
     a.emit(nop().io_block().goto_("net:loop"));
 }
 
+/// Emits the *framed* display refresh loop (`dispw:init` / `dispw:loop`):
+/// the steady state is the same two-instruction munch service as
+/// `disp:loop`, but the block's branch watches the controller's attention
+/// line (`IOAtten` = vertical retrace).  At a field boundary the task
+/// rewinds its bitmap pointer to displacement 0 and acknowledges the
+/// field over `IONotify` — four instructions of constant per-field
+/// overhead, so the §7 two-instructions-per-scanline property holds in
+/// steady state.
+///
+/// Layout: `dispw:loop` is pair-aligned (even) with `dispw:wrap` in the
+/// following odd word, so the live-condition branch needs no placer
+/// relay in either arm.
+pub fn emit_display_framed(a: &mut Assembler) {
+    emit_preamble(a, "dispw:init", RB_DISPLAY, BR_DISPLAY);
+    a.emit(nop().const16(16).alu(AluOp::B).load_t());
+    a.pair_align();
+    a.label("dispw:loop");
+    a.emit(
+        nop()
+            .rm(0)
+            .b(BSel::T)
+            .ff(FfOp::IoFetch16)
+            .alu(AluOp::ADD)
+            .load_rm()
+            .goto_("dispw:blk"),
+    );
+    a.label("dispw:wrap");
+    a.emit(nop().rm(0).const16(0).alu(AluOp::B).load_rm().goto_("dispw:ack"));
+    a.label("dispw:blk");
+    a.emit(nop().io_block().branch(Cond::IoAtten, "dispw:wrap", "dispw:loop"));
+    a.label("dispw:ack");
+    a.emit(nop().ff(FfOp::IoNotify).goto_("dispw:loop"));
+}
+
+/// Emits the keyboard service loop (`kbd:init` / `kbd:loop`): one event
+/// word per wakeup into the keyboard ring, same shape as the network
+/// receive loop.
+pub fn emit_keyboard_rx(a: &mut Assembler) {
+    emit_preamble(a, "kbd:init", RB_KBD, BR_KBD);
+    a.label("kbd:loop");
+    a.emit(
+        nop()
+            .rm(0)
+            .a(ASel::StoreR)
+            .ff(FfOp::IoInput)
+            .alu(AluOp::INC_A)
+            .load_rm(),
+    );
+    a.emit(nop()); // second instruction after the wakeup drop (§6.2.1)
+    a.emit(nop().io_block().goto_("kbd:loop"));
+}
+
+/// Emits the mouse service loop (`mouse:init` / `mouse:loop`).
+pub fn emit_mouse_rx(a: &mut Assembler) {
+    emit_preamble(a, "mouse:init", RB_MOUSE, BR_MOUSE);
+    a.label("mouse:loop");
+    a.emit(
+        nop()
+            .rm(0)
+            .a(ASel::StoreR)
+            .ff(FfOp::IoInput)
+            .alu(AluOp::INC_A)
+            .load_rm(),
+    );
+    a.emit(nop()); // second instruction after the wakeup drop (§6.2.1)
+    a.emit(nop().io_block().goto_("mouse:loop"));
+}
+
+/// Emits the scenario idle loop (`scn:idle`): the emulator task spins
+/// here between scripted bitblt episodes so device tasks keep running
+/// without the machine halting.
+pub fn emit_scenario_idle(a: &mut Assembler) {
+    a.label("scn:idle");
+    a.emit(nop().goto_("scn:idle"));
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -207,6 +283,10 @@ mod tests {
         emit_fastio_sink(&mut a);
         emit_slow_sink(&mut a);
         emit_network_rx(&mut a);
+        emit_display_framed(&mut a);
+        emit_keyboard_rx(&mut a);
+        emit_mouse_rx(&mut a);
+        emit_scenario_idle(&mut a);
         let placed = a.place().expect("device microcode places");
         for label in [
             "disk:init",
@@ -217,9 +297,31 @@ mod tests {
             "synthf:loop",
             "synths:loop",
             "net:loop",
+            "dispw:loop",
+            "kbd:loop",
+            "mouse:loop",
+            "scn:idle",
         ] {
             assert!(placed.address_of(label).is_some(), "{label}");
         }
+    }
+
+    #[test]
+    fn framed_display_loop_keeps_the_two_instruction_shape() {
+        // Steady state: munch fetch at the pair-aligned loop head, block
+        // at its goto target; the retrace arm sits in the odd word so the
+        // IOAtten branch resolves without placer relays.
+        let mut a = Assembler::new();
+        a.label("trap");
+        a.emit(nop().ff_halt().goto_("trap"));
+        emit_display_framed(&mut a);
+        let placed = a.place().unwrap();
+        let lp = placed.address_of("dispw:loop").unwrap();
+        assert_eq!(lp.raw() % 2, 0, "loop head must sit at an even address");
+        let wrap = placed.address_of("dispw:wrap").unwrap();
+        assert_eq!(wrap.raw(), lp.raw() + 1, "wrap is the odd pair partner");
+        let blk = placed.address_of("dispw:blk").unwrap();
+        assert!(placed.word(blk).block());
     }
 
     #[test]

@@ -28,6 +28,10 @@ pub const BR_DISPLAY: u8 = 7;
 pub const BR_NET: u8 = 8;
 /// Base register 9: the Lisp evaluation stack segment.
 pub const BR_LSTACK: u8 = 9;
+/// Base register 10: keyboard event ring.
+pub const BR_KBD: u8 = 10;
+/// Base register 11: mouse event ring.
+pub const BR_MOUSE: u8 = 11;
 
 // --- virtual-address map ----------------------------------------------------
 
@@ -60,6 +64,10 @@ pub const TASK_NET: TaskId = TaskId::new_const(13);
 pub const TASK_DISPLAY: TaskId = TaskId::new_const(14);
 /// A synthetic test device's task.
 pub const TASK_SYNTH: TaskId = TaskId::new_const(10);
+/// The keyboard's (slow I/O) task.
+pub const TASK_KBD: TaskId = TaskId::new_const(9);
+/// The mouse's (slow I/O) task.
+pub const TASK_MOUSE: TaskId = TaskId::new_const(8);
 
 // --- IOADDRESS assignments ---------------------------------------------------
 
@@ -71,6 +79,10 @@ pub const IOA_DISPLAY: u16 = 0x20;
 pub const IOA_NET: u16 = 0x30;
 /// Synthetic device IOADDRESS base.
 pub const IOA_SYNTH: u16 = 0x40;
+/// Keyboard IOADDRESS base.
+pub const IOA_KBD: u16 = 0x50;
+/// Mouse IOADDRESS base.
+pub const IOA_MOUSE: u16 = 0x58;
 
 // --- RM register allocation (rbase 0: the emulator's window) ----------------
 
@@ -108,6 +120,10 @@ pub const RB_DISPLAY: u8 = 5;
 pub const RB_NET: u8 = 6;
 /// Synthetic task RM window.
 pub const RB_SYNTH: u8 = 7;
+/// Keyboard task RM window.
+pub const RB_KBD: u8 = 2;
+/// Mouse task RM window.
+pub const RB_MOUSE: u8 = 3;
 
 #[cfg(test)]
 mod tests {
@@ -126,7 +142,9 @@ mod tests {
 
     #[test]
     fn rm_windows_are_distinct() {
-        let windows = [0u8, RB_BITBLT, RB_DISK, RB_DISPLAY, RB_NET, RB_SYNTH];
+        let windows = [
+            0u8, RB_BITBLT, RB_DISK, RB_DISPLAY, RB_NET, RB_SYNTH, RB_KBD, RB_MOUSE,
+        ];
         for (i, a) in windows.iter().enumerate() {
             for b in &windows[i + 1..] {
                 assert_ne!(a, b);

@@ -35,6 +35,7 @@ pub mod devices;
 pub mod layout;
 pub mod lisp;
 pub mod mesa;
+pub mod scenario;
 pub mod smalltalk;
 pub mod suite;
 

@@ -40,6 +40,8 @@ pub struct Modules {
     pub network: bool,
     /// Cluster workload programs (echo server, request generators).
     pub cluster: bool,
+    /// Workstation scenario loops: framed display, keyboard, mouse, idle.
+    pub scenario: bool,
 }
 
 /// Builder for a complete microcode suite.
@@ -82,6 +84,7 @@ impl SuiteBuilder {
                 slow_sink: true,
                 network: true,
                 cluster: true,
+                scenario: true,
             },
         }
     }
@@ -165,6 +168,14 @@ impl SuiteBuilder {
         self
     }
 
+    /// Adds the workstation scenario loops (framed display with field
+    /// wrap, keyboard, mouse, and the scripted-run idle loop).
+    #[must_use]
+    pub fn with_scenario(mut self) -> Self {
+        self.modules.scenario = true;
+        self
+    }
+
     /// Assembles and places the suite.
     ///
     /// # Errors
@@ -215,6 +226,12 @@ impl SuiteBuilder {
         }
         if m.cluster {
             crate::cluster::emit_microcode(&mut a);
+        }
+        if m.scenario {
+            devices::emit_display_framed(&mut a);
+            devices::emit_keyboard_rx(&mut a);
+            devices::emit_mouse_rx(&mut a);
+            devices::emit_scenario_idle(&mut a);
         }
         Ok(Suite {
             modules: m,

@@ -22,11 +22,15 @@
 
 pub mod disk;
 pub mod display;
+pub mod framebuffer;
+pub mod input;
 pub mod network;
 pub mod synth;
 
 pub use disk::DiskController;
 pub use display::DisplayController;
+pub use framebuffer::Framebuffer;
+pub use input::InputDevice;
 pub use network::NetworkController;
 pub use synth::RateDevice;
 

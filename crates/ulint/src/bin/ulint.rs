@@ -27,6 +27,7 @@ const SUITES: &[&str] = &[
     "bitblt",
     "cluster",
     "devices",
+    "scenario",
     "everything",
 ];
 
@@ -43,6 +44,7 @@ fn build(name: &str) -> Result<SuiteBuilder, String> {
             .with_disk()
             .with_display()
             .with_network(),
+        "scenario" => SuiteBuilder::new().with_scenario().with_bitblt(),
         "everything" => SuiteBuilder::everything(),
         other => return Err(format!("unknown suite `{other}` (expected one of {SUITES:?})")),
     })

@@ -62,8 +62,8 @@ pub use passes::{all_passes, Pass, PassCtx};
 /// labels are emulator-task code (the label conventions are set by the
 /// device modules in `dorado-emu`).
 pub const IO_PREFIXES: &[&str] = &[
-    "disk:", "diskw:", "disp:", "disp3:", "synthf:", "synths:", "net:", "eserv:", "clic:",
-    "clid:",
+    "disk:", "diskw:", "disp:", "disp3:", "dispw:", "synthf:", "synths:", "net:", "eserv:",
+    "clic:", "clid:", "kbd:", "mouse:",
 ];
 
 /// Which labelled entries belong to which task class.

@@ -226,3 +226,32 @@ fn due_cycle_fires_at_the_exact_cycle_across_skip_windows() {
     }
     assert_eq!(save_image(&sched), save_image(&naive));
 }
+
+#[test]
+fn workstation_scenarios_hash_identically_in_both_modes() {
+    // The full interactive corpus — display scan-out with retrace
+    // acknowledges, scripted keyboard/mouse traffic, BitBlt racing the
+    // beam — must produce bit-identical frame streams whether quiescent
+    // devices are skipped (event-horizon) or ticked every cycle.  The
+    // frame-hash sequence is the most sensitive observable we have: a
+    // single word painted one cycle late changes a field's CRC64.
+    use dorado::emu::scenario::{run_scenario, ScenarioKind};
+    for kind in ScenarioKind::ALL {
+        let naive = run_scenario(kind, true);
+        let sched = run_scenario(kind, false);
+        assert_eq!(
+            naive.frame_hashes, sched.frame_hashes,
+            "{}: frame stream differs between scheduling modes",
+            naive.name
+        );
+        assert_eq!(naive.fields, sched.fields, "{}", naive.name);
+        assert_eq!(naive.cycles, sched.cycles, "{}", naive.name);
+        assert_eq!(naive.final_frame, sched.final_frame, "{}", naive.name);
+        assert_eq!(naive.input_events, sched.input_events, "{}", naive.name);
+        assert_eq!(
+            naive.input_latency_max, sched.input_latency_max,
+            "{}: input service latency depends on scheduling mode",
+            naive.name
+        );
+    }
+}
