@@ -43,6 +43,7 @@
 #![warn(missing_docs)]
 
 pub mod alu;
+pub mod cfg;
 pub mod constants;
 pub mod disasm;
 pub mod error;

@@ -1,0 +1,247 @@
+//! Compiled simulation: basic-block superinstructions over placed
+//! microcode.
+//!
+//! The interpreter pays for generality on every microcycle — arbitration,
+//! NEXT selection, READY bookkeeping, device clocks — even though the
+//! emulator task runs long stretches where none of it can matter: no
+//! wakeup can rise before the I/O event horizon, READY is empty, and the
+//! highest requester is task 0 itself.  Following the compiled-simulation
+//! line of CVC and Reshadi & Dutt, this module pre-translates the placed
+//! program once: the [`Cfg`] partitions the used microstore words into
+//! maximal single-entry chains of statically-known control transfers
+//! (`GOTO`/`CALL`, including the placer's cross-page relays), and each
+//! word becomes a [`Step`] carrying its decode plus the facts the fused
+//! runner needs hoisted out of the cycle loop — can it stall, does it
+//! touch the IFU, does it force a deoptimization.
+//!
+//! The runner itself lives in `machine.rs` ([`crate::Dorado`] `fused_frame`);
+//! this module is pure data.  Translation is cheap (one pass over the
+//! store), so the machine rebuilds the table lazily whenever the control
+//! store is written — stale superinstructions can never execute.
+
+use dorado_asm::cfg::Cfg;
+use dorado_asm::{BSel, ControlOp, FfOp, PlacedProgram};
+use dorado_base::{MicroAddr, MICROSTORE_SIZE};
+
+use crate::decoded::DecodedInst;
+
+/// Sentinel in [`CompiledProgram::index`]: no step at this address (the
+/// word is unused by the placement), so execution there stays interpreted.
+pub(crate) const NO_STEP: u32 = u32::MAX;
+
+/// How the fused runner executes a step: through the general interpreter
+/// body, or through a specialized kernel whose shape was proven at
+/// translation time.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub(crate) enum Kernel {
+    /// The full `execute` body — anything the specializations don't cover.
+    General,
+    /// Register-to-register ALU with a statically known successor: A from
+    /// RM or T, B from RM/T/Q/constant, no FF side effect, no memory or
+    /// IFU contact, no stack op, no condition.  The runner's straight-line
+    /// body skips the FF, memory-start, and NEXTPC dispatches wholesale.
+    Alu {
+        /// The precomputed successor address.
+        next: MicroAddr,
+    },
+}
+
+/// One pre-translated microinstruction inside a basic block.
+#[derive(Debug, Clone)]
+pub(crate) struct Step {
+    /// The word's microstore address.
+    pub addr: MicroAddr,
+    /// The specialized execution kernel for this step.
+    pub kernel: Kernel,
+    /// The decoded instruction, copied out of the machine's decode RAM at
+    /// translation time (and invalidated with it).
+    pub inst: DecodedInst,
+    /// Whether any §5.7 hold condition applies to this instruction; steps
+    /// without one skip the hold check entirely.
+    pub may_hold: bool,
+    /// Whether executing this instruction reads or mutates prefetcher
+    /// state (IFU operands, dispatch, `IfuLoadPc`) — the fence for the
+    /// fused runner's batched quiescent IFU ticks.
+    pub touches_ifu: bool,
+    /// Whether this instruction must run under the full interpreter:
+    /// slow/fast I/O, TPC access, task wakeups, halt.  The fused runner
+    /// exits *before* executing such a step.
+    pub deopt: bool,
+    /// Last step of its block: the successor is computed at run time and
+    /// the runner re-enters through [`CompiledProgram::step_at`].
+    pub last: bool,
+}
+
+/// The translated program: a dense address→step map, the flat step table
+/// (blocks are contiguous runs ending at a `last` step), and the block
+/// length census for the E20 experiment.
+#[derive(Debug, Clone)]
+pub(crate) struct CompiledProgram {
+    index: Vec<u32>,
+    pub steps: Vec<Step>,
+    block_lens: Vec<u32>,
+}
+
+impl CompiledProgram {
+    /// The step index for the word at `addr`, or `None` when the address
+    /// is outside the placed program.
+    #[inline]
+    pub fn step_at(&self, addr: MicroAddr) -> Option<usize> {
+        let i = self.index[addr.raw() as usize];
+        (i != NO_STEP).then_some(i as usize)
+    }
+
+    /// Basic-block lengths in instructions, one entry per block.
+    pub fn block_lens(&self) -> &[u32] {
+        &self.block_lens
+    }
+}
+
+/// Whether the instruction forces a deoptimization to the interpreter.
+///
+/// Everything here either talks to the device world (whose clock the
+/// fused runner batches), or touches scheduler state the runner holds
+/// stale on purpose (TPC, READY): `WakeTask` makes READY non-empty,
+/// `ReadTpc`/`WriteTpc` see task 0's TPC only at block boundaries, and
+/// `Halt` must unwind the run loop.
+fn deoptimizes(inst: &DecodedInst) -> bool {
+    matches!(
+        inst.ff_op,
+        Some(
+            FfOp::IoInput
+                | FfOp::IoOutput
+                | FfOp::IoNotify
+                | FfOp::IoFetch16
+                | FfOp::IoStore16
+                | FfOp::WriteTpc
+                | FfOp::ReadTpc
+                | FfOp::WakeTask(_)
+                | FfOp::Halt
+        )
+    )
+}
+
+/// Whether any §5.7 hold condition can apply to the instruction (the
+/// fused runner's license to skip the hold check).
+fn may_hold(inst: &DecodedInst) -> bool {
+    inst.bsel == BSel::MemData
+        || inst.ff_op == Some(FfOp::ShOutM)
+        || inst.asel.uses_ifudata()
+        || inst.asel.starts_memory_ref()
+        || matches!(inst.ff_op, Some(FfOp::IoFetch16 | FfOp::IoStore16))
+        || inst.control == ControlOp::IfuJump
+}
+
+/// Whether executing the instruction reads or mutates IFU state.
+/// (`IfuReadPc` reads a register quiescent ticks never move, so it does
+/// not fence the batch.)
+fn touches_ifu(inst: &DecodedInst) -> bool {
+    inst.asel.uses_ifudata()
+        || inst.control == ControlOp::IfuJump
+        || inst.ff_op == Some(FfOp::IfuLoadPc)
+}
+
+/// Classifies a step for the fused runner.  The `Alu` kernel must imply
+/// *everything* the general body could otherwise do is provably absent:
+/// no hold source, no FF operation, no memory start, no IFU contact, no
+/// stack discipline, and a successor known at translation time.
+fn kernel_of(at: MicroAddr, inst: &DecodedInst) -> Kernel {
+    let simple_a = !inst.asel.uses_ifudata() && !inst.asel.starts_memory_ref();
+    let simple_b = inst.bsel != BSel::MemData;
+    let no_ff = matches!(inst.ff_op, None | Some(FfOp::Nop));
+    let static_next = matches!(
+        inst.control,
+        ControlOp::Goto { .. } | ControlOp::GotoLong { .. }
+    );
+    if simple_a && simple_b && no_ff && static_next && !inst.block {
+        if let Some(next) = inst.control.static_next(at, inst.ff_raw) {
+            return Kernel::Alu { next };
+        }
+    }
+    Kernel::General
+}
+
+/// The *executed* successor when it is statically unique: in-page and
+/// long `GOTO`s and `CALL`s (a call's dynamic next is its callee; the
+/// return continuation is a separate block).  Everything else —
+/// conditionals, returns, dispatches — resolves at run time.
+fn chain_next(at: MicroAddr, inst: &DecodedInst) -> Option<MicroAddr> {
+    match inst.control {
+        ControlOp::Goto { .. }
+        | ControlOp::GotoLong { .. }
+        | ControlOp::Call { .. }
+        | ControlOp::CallLong { .. } => inst.control.static_next(at, inst.ff_raw),
+        _ => None,
+    }
+}
+
+/// Translates a placed program into basic-block superinstructions.
+///
+/// `decoded` is the machine's decode RAM (one entry per store word,
+/// already patched by any control-store writes); the CFG supplies the
+/// used-word set.  Block discovery: a word starts a block unless exactly
+/// one used word chains into it; chains then extend through every
+/// unique-static-successor transfer until a dynamic terminator, a block
+/// leader, or an already-translated word (which closes chain cycles such
+/// as `spin: goto spin`).
+pub(crate) fn compile(placed: &PlacedProgram, decoded: &[DecodedInst]) -> CompiledProgram {
+    let cfg = Cfg::build(placed);
+    let mut chain_preds = vec![0u32; MICROSTORE_SIZE];
+    for node in cfg.iter() {
+        let inst = &decoded[node.addr.raw() as usize];
+        if let Some(n) = chain_next(node.addr, inst) {
+            if cfg.node(n).is_some() {
+                chain_preds[n.raw() as usize] += 1;
+            }
+        }
+    }
+    let mut index = vec![NO_STEP; MICROSTORE_SIZE];
+    let mut steps = Vec::new();
+    let mut block_lens = Vec::new();
+    // Pass 1: blocks rooted at leaders.  Pass 2: whatever remains lives on
+    // chain cycles with no leader (every member has exactly one chain
+    // predecessor); root a block arbitrarily at the first unvisited word.
+    let leaders = cfg
+        .iter()
+        .map(|n| n.addr)
+        .filter(|a| chain_preds[a.raw() as usize] != 1);
+    let leftovers: Vec<MicroAddr> = cfg.iter().map(|n| n.addr).collect();
+    for start in leaders.collect::<Vec<_>>().into_iter().chain(leftovers) {
+        if index[start.raw() as usize] != NO_STEP {
+            continue;
+        }
+        let begin = steps.len();
+        let mut at = start;
+        loop {
+            index[at.raw() as usize] = steps.len() as u32;
+            let inst = decoded[at.raw() as usize];
+            let next = chain_next(at, &inst);
+            steps.push(Step {
+                addr: at,
+                kernel: kernel_of(at, &inst),
+                may_hold: may_hold(&inst),
+                touches_ifu: touches_ifu(&inst),
+                deopt: deoptimizes(&inst),
+                last: false,
+                inst,
+            });
+            match next {
+                Some(n)
+                    if cfg.node(n).is_some()
+                        && index[n.raw() as usize] == NO_STEP
+                        && chain_preds[n.raw() as usize] == 1 =>
+                {
+                    at = n;
+                }
+                _ => break,
+            }
+        }
+        steps.last_mut().expect("block has a step").last = true;
+        block_lens.push((steps.len() - begin) as u32);
+    }
+    CompiledProgram {
+        index,
+        steps,
+        block_lens,
+    }
+}

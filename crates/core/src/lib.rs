@@ -44,6 +44,7 @@
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
+pub mod compiled;
 pub mod console;
 pub mod control;
 pub mod datapath;
@@ -55,5 +56,5 @@ pub use console::Console;
 pub use control::{ControlSection, TaskingMode};
 pub use datapath::{CondFlags, DataSection};
 pub use decoded::DecodedInst;
-pub use machine::{BuildError, Dorado, DoradoBuilder, HoldCause, RunOutcome, StepEvent};
+pub use machine::{BuildError, Dorado, DoradoBuilder, ExecMode, HoldCause, RunOutcome, StepEvent};
 pub use trace::{CacheOutcome, TraceEvent, Tracer};

@@ -26,7 +26,7 @@
 //! modes and across a mid-scenario snapshot/restore.
 
 use dorado_base::{BaseRegId, VirtAddr, Word};
-use dorado_core::Dorado;
+use dorado_core::{Dorado, ExecMode};
 use dorado_io::{DisplayController, Framebuffer, InputDevice};
 
 use crate::bitblt::{self, BitBltParams, BitRect, BlitKind};
@@ -303,6 +303,13 @@ pub fn run_scenario(kind: ScenarioKind, always_tick: bool) -> ScenarioReport {
     drive(kind, always_tick, &mut |_, _| {})
 }
 
+/// [`run_scenario`] with an explicit execution mode: the interactive
+/// corpus doubles as the compiled-simulation oracle, so every scenario
+/// must be drivable interpreted *and* compiled.
+pub fn run_scenario_mode(kind: ScenarioKind, always_tick: bool, mode: ExecMode) -> ScenarioReport {
+    drive_mode(kind, always_tick, mode, &mut |_, _| {})
+}
+
 /// Runs `kind` with a checkpoint hook (see [`StepHook`]).
 ///
 /// # Panics
@@ -310,7 +317,23 @@ pub fn run_scenario(kind: ScenarioKind, always_tick: bool) -> ScenarioReport {
 /// Panics if the scenario wedges (a field or input service never
 /// arrives) — deterministic scripts either complete or are broken.
 pub fn drive(kind: ScenarioKind, always_tick: bool, hook: &mut StepHook<'_>) -> ScenarioReport {
+    drive_mode(kind, always_tick, ExecMode::default(), hook)
+}
+
+/// [`drive`] with an explicit execution mode.
+///
+/// # Panics
+///
+/// Panics if the scenario wedges (a field or input service never
+/// arrives) — deterministic scripts either complete or are broken.
+pub fn drive_mode(
+    kind: ScenarioKind,
+    always_tick: bool,
+    mode: ExecMode,
+    hook: &mut StepHook<'_>,
+) -> ScenarioReport {
     let mut m = build_machine(kind);
+    m.set_exec_mode(mode);
     m.io_mut().set_always_tick(always_tick);
     let mut step = 0u32;
     let mut checkpoint = |m: &mut Dorado, step: &mut u32| {

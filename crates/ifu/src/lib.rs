@@ -297,6 +297,24 @@ impl Ifu {
         }
     }
 
+    /// Folds `n` consecutive quiescent ticks into the occupancy counters
+    /// in one call.  Only valid while [`Ifu::is_quiescent`] holds: each
+    /// such [`Ifu::tick`] provably takes the saturated early-out, which
+    /// touches nothing but the three counters updated here, so the fold
+    /// is bit-identical to `n` individual ticks.  The compiled execution
+    /// core uses this to hoist the prefetcher clock out of fused
+    /// basic-block runs.
+    #[inline]
+    pub fn tick_quiescent_n(&mut self, n: u64) {
+        debug_assert!(
+            self.discard == 0 && self.buffer.len() + 2 > self.buffer_cap,
+            "tick_quiescent_n on a non-quiescent IFU"
+        );
+        self.counters.ticks += n;
+        self.counters.buffer_bytes_accum += self.buffer.len() as u64 * n;
+        self.counters.buffer_full_cycles += n;
+    }
+
     /// Whether a dispatch would succeed, and with which entry (does not
     /// consume anything).
     pub fn dispatch_peek(&self) -> Option<MicroAddr> {

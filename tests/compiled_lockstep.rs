@@ -1,0 +1,187 @@
+//! Compiled execution must be architecturally invisible.
+//!
+//! The compiled core (basic-block superinstructions with arbitration,
+//! device clocks, and scheduler bookkeeping hoisted out of the cycle
+//! loop) claims bit-identity with the interpreter.  These tests drive
+//! interpreted and compiled machines over every emulator suite in
+//! lockstep — random-length quanta with a full snapshot-image compare at
+//! every boundary, plus strict per-cycle stretches — so any divergence in
+//! any piece of dynamic state (registers, memory, cache, IFU, devices,
+//! statistics, deferred writebacks) fails at the first cycle it appears.
+
+use dorado::base::check::{check, Rng};
+use dorado::base::snap::save_image;
+use dorado::base::{VirtAddr, Word};
+use dorado::core::{Dorado, ExecMode};
+use dorado::emu::bcpl::BcplAsm;
+use dorado::emu::layout::{GLOBAL_FRAME, SCRATCH};
+use dorado::emu::lisp::LispAsm;
+use dorado::emu::mesa::MesaAsm;
+use dorado::emu::smalltalk::{self, StAsm};
+use dorado::emu::suite::{build_bcpl, build_lisp, build_mesa, build_smalltalk};
+use dorado_bench::workstation_machine;
+
+/// Drives two same-built machines — one interpreted, one compiled —
+/// through identical random quantum boundaries, comparing the full
+/// snapshot image at each one.  `per_cycle` leading cycles run with
+/// quantum 1 (a strict per-cycle state compare across the region where
+/// boot code, device starts, and first task switches land).
+fn lockstep(name: &str, rng: &mut Rng, total: u64, per_cycle: u64, mk: &dyn Fn() -> Dorado) {
+    let mut interp = mk();
+    let mut compiled = mk();
+    compiled.set_exec_mode(ExecMode::Compiled);
+    assert_eq!(compiled.exec_mode(), ExecMode::Compiled);
+    let mut done = 0u64;
+    while done < total {
+        let q = if done < per_cycle {
+            1
+        } else {
+            rng.range(1, 4096)
+        };
+        let a = interp.run_quantum(q);
+        let b = compiled.run_quantum(q);
+        assert_eq!(
+            a,
+            b,
+            "{name}: quantum progress diverged at cycle {}",
+            interp.cycles()
+        );
+        assert_eq!(
+            save_image(&interp),
+            save_image(&compiled),
+            "{name}: machine image diverged at cycle {}",
+            interp.cycles()
+        );
+        if a == 0 {
+            break;
+        }
+        done += a;
+    }
+    assert_eq!(interp.stats(), compiled.stats(), "{name}: final statistics");
+    assert_eq!(interp.halted(), compiled.halted(), "{name}: halt state");
+}
+
+#[test]
+fn workstation_lockstep_property() {
+    // The §4 workstation: fib(15) against live display/disk/network
+    // traffic — heavy task switching, fast I/O, holds, and the event
+    // horizon all in play.
+    check("compiled-lockstep-workstation", 6, |rng: &mut Rng| {
+        let per_cycle = rng.range(50, 300);
+        lockstep("workstation", rng, 150_000, per_cycle, &workstation_machine);
+    });
+}
+
+#[test]
+fn workstation_lockstep_always_tick() {
+    // Naive device clocking closes the event horizon, so compiled mode
+    // must gracefully degrade to interpreted stepping — and still match.
+    check("compiled-lockstep-always-tick", 3, |rng: &mut Rng| {
+        lockstep("workstation/always-tick", rng, 30_000, 64, &|| {
+            let mut m = workstation_machine();
+            m.io_mut().set_always_tick(true);
+            m
+        });
+    });
+}
+
+#[test]
+fn mesa_suite_lockstep() {
+    check("compiled-lockstep-mesa", 8, |rng: &mut Rng| {
+        let reps = rng.range(1, 40);
+        let mk = move || {
+            let mut p = MesaAsm::new();
+            p.lib(11);
+            p.label("top");
+            for _ in 0..reps {
+                p.inc();
+            }
+            p.lib(1);
+            p.sub();
+            p.jzb("top");
+            p.halt();
+            build_mesa(&p.assemble().expect("mesa asm")).expect("mesa machine")
+        };
+        lockstep("mesa", rng, 120_000, 150, &mk);
+    });
+}
+
+#[test]
+fn lisp_suite_lockstep() {
+    check("compiled-lockstep-lisp", 6, |rng: &mut Rng| {
+        let n = rng.range(2, 24);
+        let mk = move || {
+            let mut p = LispAsm::new();
+            p.push_fix(n as Word);
+            p.push_fix(7);
+            p.add();
+            for _ in 0..n {
+                p.push_fix(3);
+                p.push_fix(9);
+                p.cons();
+                p.car();
+                p.add();
+            }
+            p.halt();
+            build_lisp(&p.assemble().expect("lisp asm")).expect("lisp machine")
+        };
+        lockstep("lisp", rng, 120_000, 120, &mk);
+    });
+}
+
+#[test]
+fn bcpl_suite_lockstep() {
+    check("compiled-lockstep-bcpl", 6, |rng: &mut Rng| {
+        let calls = rng.range(1, 48);
+        let mk = move || {
+            let mut p = BcplAsm::new();
+            p.lit(3);
+            p.sv(0);
+            for _ in 0..calls {
+                p.call("double");
+            }
+            p.lv(0);
+            p.halt();
+            p.label("double");
+            p.lv(0);
+            p.lv(0);
+            p.add();
+            p.sv(0);
+            p.ret();
+            build_bcpl(&p.assemble().expect("bcpl asm")).expect("bcpl machine")
+        };
+        lockstep("bcpl", rng, 120_000, 120, &mk);
+    });
+}
+
+#[test]
+fn smalltalk_suite_lockstep() {
+    check("compiled-lockstep-smalltalk", 6, |rng: &mut Rng| {
+        let sends = rng.range(1, 12);
+        let field = rng.below(100) as Word;
+        let mk = move || {
+            let mut p = StAsm::new();
+            p.push_fix(5);
+            for _ in 0..sends {
+                p.push_var(0);
+                p.send(7, 0);
+                p.add();
+            }
+            p.halt();
+            let target = p.label("m_field");
+            p.push_inst(0);
+            p.mret();
+            let bytes = p.assemble();
+
+            let class_addr = SCRATCH;
+            let obj_addr = SCRATCH + 0x40;
+            let mut m = build_smalltalk(&bytes).expect("st machine");
+            smalltalk::define_class(&mut m, class_addr, &[(7, target)]);
+            smalltalk::define_object(&mut m, obj_addr, class_addr, &[field]);
+            m.memory_mut()
+                .write_virt(VirtAddr::new(GLOBAL_FRAME), obj_addr as Word);
+            m
+        };
+        lockstep("smalltalk", rng, 120_000, 120, &mk);
+    });
+}
