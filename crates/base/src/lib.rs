@@ -38,7 +38,7 @@ pub use hold::HoldCause;
 pub use metrics::{
     CacheStats, FabricPortStats, FabricStats, IfuActivity, PortCounters, Requester, StorageStats,
 };
-pub use report::{ClusterReport, Report};
+pub use report::{ClusterReport, LatencyStats, Report, WorkloadSummary};
 pub use snap::{SnapError, Snapshot};
 pub use stats::Stats;
 pub use task::TaskId;

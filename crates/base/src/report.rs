@@ -330,18 +330,82 @@ impl std::fmt::Display for Report {
     }
 }
 
+/// Request-latency distribution in microcycles, summarized at the usual
+/// SLO points.  Built once from the full sample set; percentiles use the
+/// nearest-rank method on the sorted samples, so every figure is an
+/// actually-observed latency.
+#[derive(Debug, Clone, PartialEq, Default)]
+pub struct LatencyStats {
+    /// Matched request/response pairs the distribution covers.
+    pub samples: u64,
+    /// Mean latency in microcycles.
+    pub mean: f64,
+    /// Median (50th percentile) in microcycles.
+    pub p50: u64,
+    /// 99th percentile in microcycles.
+    pub p99: u64,
+    /// 99.9th percentile in microcycles.
+    pub p999: u64,
+    /// Worst observed latency in microcycles.
+    pub max: u64,
+}
+
+impl LatencyStats {
+    /// Summarizes a sample set of per-request latencies (microcycles).
+    /// An empty set yields the all-zero summary.
+    pub fn from_cycles(mut samples: Vec<u64>) -> Self {
+        if samples.is_empty() {
+            return LatencyStats::default();
+        }
+        samples.sort_unstable();
+        let n = samples.len();
+        let sum: u64 = samples.iter().sum();
+        let rank = |num: usize, den: usize| samples[(num * n).div_ceil(den).max(1) - 1];
+        LatencyStats {
+            samples: n as u64,
+            mean: sum as f64 / n as f64,
+            p50: rank(50, 100),
+            p99: rank(99, 100),
+            p999: rank(999, 1000),
+            max: samples[n - 1],
+        }
+    }
+}
+
+/// The traffic-model section of a cluster report: offered load, goodput,
+/// drops, and the request-latency distribution — the serving-stack SLO
+/// view on top of the §7 processor tables.
+#[derive(Debug, Clone, PartialEq, Default)]
+pub struct WorkloadSummary {
+    /// Request packets client ports offered to the fabric.
+    pub requests: u64,
+    /// Responses the client machines' network tasks completed.
+    pub responses: u64,
+    /// Packets the fabric dropped (unroutable or queue-cap evictions).
+    pub drops: u64,
+    /// Offered load in requests per second of simulated time.
+    pub offered_rps: f64,
+    /// Goodput in completed responses per second of simulated time.
+    pub goodput_rps: f64,
+    /// Round-trip latency distribution over matched request/response
+    /// pairs.
+    pub latency: LatencyStats,
+}
+
 /// The cluster section of the report: one counter snapshot per machine
 /// plus the fabric's per-port traffic, over a common simulated window.
 ///
 /// Rendered, it extends the §7 tables with the multi-machine view the
 /// paper's §2 Ethernet setting implies: per-machine task utilization and
-/// the aggregate Mbit/s the fabric carried.
+/// the aggregate Mbit/s the fabric carried — plus, when the workload
+/// layer attaches a [`WorkloadSummary`], the request-level SLO table.
 #[derive(Debug, Clone, PartialEq)]
 pub struct ClusterReport {
     clock: ClockConfig,
     cycles: u64,
     machines: Vec<(String, Stats)>,
     fabric: FabricStats,
+    workload: Option<WorkloadSummary>,
 }
 
 impl ClusterReport {
@@ -352,7 +416,19 @@ impl ClusterReport {
         machines: Vec<(String, Stats)>,
         fabric: FabricStats,
     ) -> Self {
-        ClusterReport { clock, cycles, machines, fabric }
+        ClusterReport { clock, cycles, machines, fabric, workload: None }
+    }
+
+    /// Attaches the traffic-model summary (builder style).
+    #[must_use]
+    pub fn with_workload(mut self, workload: WorkloadSummary) -> Self {
+        self.workload = Some(workload);
+        self
+    }
+
+    /// The traffic-model summary, when the workload layer attached one.
+    pub fn workload(&self) -> Option<&WorkloadSummary> {
+        self.workload.as_ref()
     }
 
     /// Labelled per-machine counter snapshots, in port order.
@@ -468,7 +544,30 @@ impl std::fmt::Display for ClusterReport {
             self.fabric_tx_mbps(),
             100.0 * self.fabric_utilization(),
             self.fabric.drops()
-        )
+        )?;
+        if let Some(w) = &self.workload {
+            writeln!(f)?;
+            writeln!(
+                f,
+                "-- workload: {} request(s) offered ({:.0}/s), {} response(s) ({:.0}/s goodput), {} drop(s) --",
+                w.requests, w.offered_rps, w.responses, w.goodput_rps, w.drops
+            )?;
+            let us = |cycles: u64| self.clock.to_seconds(Cycles(cycles)) * 1e6;
+            write!(
+                f,
+                "latency ({} sample(s)): p50 {} p99 {} p999 {} max {} cycles \
+                 (p50 {:.1} us, p99 {:.1} us, p999 {:.1} us)",
+                w.latency.samples,
+                w.latency.p50,
+                w.latency.p99,
+                w.latency.p999,
+                w.latency.max,
+                us(w.latency.p50),
+                us(w.latency.p99),
+                us(w.latency.p999),
+            )?;
+        }
+        Ok(())
     }
 }
 
@@ -679,6 +778,41 @@ mod tests {
         let text = format!("{r}");
         assert!(text.contains("busy    --%"), "{text}");
         assert!(!text.contains("NaN"), "{text}");
+    }
+
+    #[test]
+    fn latency_percentiles_are_nearest_rank() {
+        let l = LatencyStats::from_cycles((1..=1000).rev().collect());
+        assert_eq!(l.samples, 1000);
+        assert_eq!(l.p50, 500);
+        assert_eq!(l.p99, 990);
+        assert_eq!(l.p999, 999);
+        assert_eq!(l.max, 1000);
+        assert!((l.mean - 500.5).abs() < 1e-9);
+        // Every percentile of a single sample is that sample.
+        let one = LatencyStats::from_cycles(vec![42]);
+        assert_eq!((one.p50, one.p99, one.p999, one.max), (42, 42, 42, 42));
+        assert_eq!(LatencyStats::from_cycles(vec![]), LatencyStats::default());
+    }
+
+    #[test]
+    fn cluster_display_renders_workload_when_attached() {
+        let plain = format!("{}", cluster_sample());
+        assert!(!plain.contains("workload"), "{plain}");
+        let r = cluster_sample().with_workload(WorkloadSummary {
+            requests: 10,
+            responses: 9,
+            drops: 1,
+            offered_rps: 1000.0,
+            goodput_rps: 900.0,
+            latency: LatencyStats::from_cycles(vec![100, 200, 300]),
+        });
+        assert_eq!(r.workload().unwrap().responses, 9);
+        let text = format!("{r}");
+        assert!(text.contains("10 request(s) offered (1000/s)"), "{text}");
+        assert!(text.contains("9 response(s) (900/s goodput)"), "{text}");
+        assert!(text.contains("p50 200 p99 300 p999 300 max 300"), "{text}");
+        assert!(text.contains("us"), "{text}");
     }
 
     #[test]

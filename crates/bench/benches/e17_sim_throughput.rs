@@ -34,7 +34,7 @@
 use std::time::Instant;
 
 use dorado_bench::workstation_machine;
-use dorado_cluster::{ClusterConfig, ClusterSim};
+use dorado_cluster::{ClusterConfig, ClusterSim, Exec};
 use dorado_core::ExecMode;
 use dorado_emu::mesa;
 
@@ -101,7 +101,7 @@ fn run_cluster(epochs: u64, mode: Mode) -> (u64, f64, u64) {
         }
     }
     let t = Instant::now();
-    sim.run(epochs, false);
+    sim.run(epochs, Exec::Sequential);
     let secs = t.elapsed().as_secs_f64();
     let cycles: u64 = sim.machines.iter().map(dorado_core::Dorado::cycles).sum();
     (cycles, secs, sim.responses())

@@ -21,6 +21,7 @@ use dorado_base::{MicroAddr, Word};
 use dorado_core::Dorado;
 use dorado_io::NetworkController;
 
+use crate::exec::Exec;
 use crate::workload::ClusterSim;
 
 /// What one [`kill_and_recover`] run did.
@@ -68,11 +69,12 @@ fn crash(m: &mut Dorado, rng: &mut Rng) {
     }
 }
 
-/// Runs `sim` for `epochs` epochs, killing machine `victim` during epoch
-/// `kill_epoch` and recovering it from the checkpoint taken at the
-/// barrier just before: the whole cluster rolls back and replays the
-/// epoch, then the remaining epochs run normally.  The crash scramble is
-/// derived from `seed`, so a failing recovery is replayable.
+/// Runs `sim` for `epochs` epochs under the chosen executor, killing
+/// machine `victim` during epoch `kill_epoch` and recovering it from the
+/// checkpoint taken at the barrier just before: the whole cluster rolls
+/// back and replays the epoch, then the remaining epochs run normally.
+/// The crash scramble is derived from `seed`, so a failing recovery is
+/// replayable — under any executor, since all of them are bit-identical.
 ///
 /// # Panics
 ///
@@ -83,22 +85,23 @@ pub fn kill_and_recover(
     kill_epoch: u64,
     victim: usize,
     seed: u64,
+    exec: Exec,
 ) -> Recovery {
     assert!(victim < sim.machines.len(), "victim out of range");
     assert!(kill_epoch < epochs, "kill epoch beyond the run");
     let mut rng = Rng::new(seed);
-    sim.run(kill_epoch, false);
+    sim.run(kill_epoch, exec);
     let checkpoint = sim.save_checkpoint();
     let barrier_cycles = sim.cycles();
     // The epoch that will be lost: run it, then destroy the victim.
-    sim.run(1, false);
+    sim.run(1, exec);
     crash(&mut sim.machines[victim], &mut rng);
     sim.restore_checkpoint(&checkpoint)
         .expect("checkpoint taken from this very cluster");
     // Replay the killed epoch and finish the run.
-    sim.run(1, false);
+    sim.run(1, exec);
     let replayed_cycles = sim.cycles() - barrier_cycles;
-    sim.run(epochs - kill_epoch - 1, false);
+    sim.run(epochs - kill_epoch - 1, exec);
     Recovery {
         kill_epoch,
         checkpoint_bytes: checkpoint.len(),
@@ -166,10 +169,10 @@ mod tests {
     fn killed_machine_recovers_to_identical_report() {
         let cfg = ClusterConfig::pairs(4, 2, 1);
         let mut straight = ClusterSim::build(&cfg).unwrap();
-        straight.run(60, false);
+        straight.run(60, Exec::Sequential);
 
         let mut faulted = ClusterSim::build(&cfg).unwrap();
-        let recovery = kill_and_recover(&mut faulted, 60, 17, 3, 0xD0D0);
+        let recovery = kill_and_recover(&mut faulted, 60, 17, 3, 0xD0D0, Exec::Sequential);
         assert_eq!(recovery.kill_epoch, 17);
         assert!(recovery.checkpoint_bytes > 0);
         assert_eq!(recovery.replayed_cycles, 2_000, "one epoch replayed");
@@ -184,11 +187,11 @@ mod tests {
     fn recovery_from_any_victim_and_seed() {
         let cfg = ClusterConfig::pairs(2, 1, 1);
         let mut straight = ClusterSim::build(&cfg).unwrap();
-        straight.run(30, false);
+        straight.run(30, Exec::Sequential);
         let want = straight.save_checkpoint();
         for (victim, seed) in [(0usize, 1u64), (1, 2), (0, 3)] {
             let mut faulted = ClusterSim::build(&cfg).unwrap();
-            kill_and_recover(&mut faulted, 30, 9, victim, seed);
+            kill_and_recover(&mut faulted, 30, 9, victim, seed, Exec::Sequential);
             assert_eq!(
                 faulted.save_checkpoint(),
                 want,
@@ -197,11 +200,26 @@ mod tests {
         }
     }
 
+    #[test]
+    fn recovery_runs_under_the_pool_executor() {
+        // The production executor drives the same kill/restore/replay
+        // sequence to the same final state as the sequential oracle.
+        let cfg = ClusterConfig::pairs(4, 2, 1);
+        let mut straight = ClusterSim::build(&cfg).unwrap();
+        straight.run(40, Exec::Sequential);
+        let want = straight.save_checkpoint();
+        let mut faulted = ClusterSim::build(&cfg).unwrap();
+        let recovery = kill_and_recover(&mut faulted, 40, 11, 1, 0xBEEF, Exec::Pool(3));
+        assert_eq!(recovery.replayed_cycles, 2_000);
+        assert_eq!(faulted.save_checkpoint(), want);
+    }
+
     fn open_cluster() -> ClusterSim {
         let mut cfg = ClusterConfig::pairs(2, 0, 0);
         cfg.specs[1].role = Role::OpenClient {
             target: 0,
             period: 40,
+            burst: 1,
             payload: 1,
         };
         ClusterSim::build(&cfg).unwrap()
@@ -211,7 +229,7 @@ mod tests {
     fn mangled_packets_are_dropped_and_charged() {
         let mut sim = open_cluster();
         let mut mangler = PacketMangler::new(7, 400, 200);
-        sim.run_mangled(120, &mut |_, _, pkt| mangler.apply(pkt));
+        sim.run_mangled(120, Exec::Sequential, &mut |_, _, pkt| mangler.apply(pkt));
         assert!(mangler.corrupted > 0, "corruption never fired");
         assert!(mangler.dropped > 0, "wire loss never fired");
         // Every corrupted packet is unroutable: the fabric charges its
@@ -220,7 +238,7 @@ mod tests {
         assert!(report.fabric().drops() >= mangler.corrupted);
         let clean_responses = {
             let mut clean = open_cluster();
-            clean.run(120, false);
+            clean.run(120, Exec::Sequential);
             clean.responses()
         };
         assert!(
@@ -232,13 +250,19 @@ mod tests {
     }
 
     #[test]
-    fn mangler_is_deterministic() {
-        let run = || {
+    fn mangler_is_deterministic_under_either_executor() {
+        let run = |exec| {
             let mut sim = open_cluster();
             let mut mangler = PacketMangler::new(42, 300, 100);
-            sim.run_mangled(80, &mut |_, _, pkt| mangler.apply(pkt));
+            sim.run_mangled(80, exec, &mut |_, _, pkt| mangler.apply(pkt));
             (sim.save_checkpoint(), mangler.corrupted, mangler.dropped)
         };
-        assert_eq!(run(), run());
+        let seq = run(Exec::Sequential);
+        assert_eq!(seq, run(Exec::Sequential));
+        // The pool executor calls the mangler in the same (epoch, port)
+        // order, so the seeded fault schedule — and everything downstream
+        // of it — is identical.
+        assert_eq!(seq, run(Exec::Pool(2)));
+        assert_eq!(seq, run(Exec::Pool(5)));
     }
 }

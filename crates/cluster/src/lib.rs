@@ -3,8 +3,8 @@
 //! The paper situates the Dorado on the experimental Ethernet that linked
 //! Xerox's personal computers (§2).  This crate scales the single-machine
 //! simulator out to a *cluster*: N complete [`Dorado`]s joined by a
-//! deterministic switch fabric, executed in parallel — one OS thread per
-//! machine — with results bit-identical to a single-threaded run.
+//! deterministic switch fabric, executed in parallel on a fixed worker
+//! pool with results bit-identical to a single-threaded run.
 //!
 //! * [`fabric`] — the switch: word-time latency model, source/destination
 //!   addressing via packet word 0, per-port traffic counters, and a
@@ -29,7 +29,10 @@ pub mod fabric;
 pub mod inject;
 pub mod workload;
 
-pub use exec::{run_parallel, run_sequential, run_sequential_mangled, EpochConfig, Mangle};
+pub use exec::{
+    run_parallel, run_pool, run_pool_mangled, run_sequential, run_sequential_mangled, EpochConfig,
+    Exec, Mangle,
+};
 pub use fabric::{Fabric, FabricConfig, PacketRecord};
 pub use inject::{kill_and_recover, PacketMangler, Recovery};
 pub use workload::{ClusterConfig, ClusterSim, MachineSpec, Role};

@@ -9,15 +9,21 @@
 //! * [`Role::EchoServer`] — the network task answers every request;
 //! * [`Role::ClosedClient`] — keeps `window` requests outstanding
 //!   (closed-loop load: send on every response);
-//! * [`Role::OpenClient`] — emits a request every `period` emulator-loop
-//!   iterations, regardless of responses (open-loop load).
+//! * [`Role::OpenClient`] — fires a deterministic burst of requests every
+//!   `period` emulator-loop iterations, regardless of responses
+//!   (open-loop load: offered rate is set by the generator, so servers
+//!   can be driven past saturation).
 //!
 //! Throughput comes from the microcode's own RM counters, latency from
-//! the fabric's per-port packet logs, and utilization/bandwidth from the
-//! [`ClusterReport`] assembled by [`ClusterSim::report`].
+//! the fabric's per-port packet logs (tx stamps are sub-epoch: the
+//! controller stamps each packet with its machine's local cycle at
+//! end-of-packet), and utilization/bandwidth plus the p50/p99/p999 SLO
+//! summary from the [`ClusterReport`] assembled by [`ClusterSim::report`].
+
+use std::collections::{HashMap, VecDeque};
 
 use dorado_base::snap::{self, Reader, SnapError, Snapshot, Writer};
-use dorado_base::{ClusterReport, Word};
+use dorado_base::{ClusterReport, LatencyStats, Word, WorkloadSummary};
 use dorado_core::Dorado;
 use dorado_emu::cluster as ucode;
 use dorado_emu::layout::{IOA_NET, TASK_EMU, TASK_NET};
@@ -25,7 +31,10 @@ use dorado_emu::suite::SuiteError;
 use dorado_emu::SuiteBuilder;
 use dorado_io::NetworkController;
 
-use crate::exec::{run_parallel, run_sequential, run_sequential_mangled, EpochConfig, Mangle};
+use crate::exec::{
+    run_parallel, run_pool, run_pool_mangled, run_sequential, run_sequential_mangled, EpochConfig,
+    Exec, Mangle,
+};
 use crate::fabric::{Fabric, FabricConfig};
 
 /// What one machine in the cluster does.
@@ -42,12 +51,15 @@ pub enum Role {
         /// Payload words per request beyond the three header words.
         payload: Word,
     },
-    /// Send to `target` every `period` generator iterations.
+    /// Send a burst of requests to `target` every `period` generator
+    /// iterations, regardless of responses.
     OpenClient {
         /// Port index of the machine to send to.
         target: usize,
-        /// Generator loop iterations between requests (≥ 1 sensible).
+        /// Generator loop iterations between firings (≥ 1 sensible).
         period: Word,
+        /// Requests sent back-to-back per firing (≥ 1; 0 sends nothing).
+        burst: Word,
         /// Payload words per request.
         payload: Word,
     },
@@ -113,6 +125,27 @@ impl ClusterConfig {
             fabric: FabricConfig::default(),
             epoch_cycles: 2_000,
         }
+    }
+
+    /// The open-loop saturation topology: like [`ClusterConfig::pairs`],
+    /// but odd ports run open-loop generators firing a `burst` of
+    /// requests every `period` iterations at their even neighbour —
+    /// offered load is set by the generator, not by responses, so the
+    /// servers can be driven past saturation.  A single machine fires at
+    /// itself through the fabric.
+    pub fn open_loop(machines: usize, period: Word, burst: Word, payload: Word) -> Self {
+        let mut cfg = ClusterConfig::pairs(machines, 0, payload);
+        for (i, spec) in cfg.specs.iter_mut().enumerate() {
+            if spec.role.is_client() {
+                spec.role = Role::OpenClient {
+                    target: if machines == 1 { 0 } else { i - 1 },
+                    period,
+                    burst,
+                    payload,
+                };
+            }
+        }
+        cfg
     }
 }
 
@@ -188,11 +221,12 @@ impl ClusterSim {
                 Role::OpenClient {
                     target,
                     period,
+                    burst,
                     payload,
                 } => {
                     assert!(target < cfg.specs.len(), "client target out of range");
                     let srv = port_address(target);
-                    ucode::preset_emu_client(&mut m, srv, me, 0, payload, period);
+                    ucode::preset_open_client(&mut m, srv, me, 0, payload, period, burst);
                     ucode::preset_net_client(&mut m, srv, me, 0, payload);
                 }
             }
@@ -209,34 +243,60 @@ impl ClusterSim {
         })
     }
 
-    /// Runs `epochs` more epochs, on one thread or one thread per machine.
-    pub fn run(&mut self, epochs: u64, parallel: bool) {
+    /// Runs `epochs` more epochs under the chosen executor — all three
+    /// produce bit-identical results (see [`Exec`]).
+    pub fn run(&mut self, epochs: u64, exec: Exec) {
         let cfg = EpochConfig {
             epoch_cycles: self.epoch_cycles,
             epochs,
         };
-        self.cycles = if parallel {
-            run_parallel(&mut self.machines, &mut self.fabric, cfg, self.cycles)
-        } else {
-            run_sequential(&mut self.machines, &mut self.fabric, cfg, self.cycles)
+        self.cycles = match exec {
+            Exec::Sequential => {
+                run_sequential(&mut self.machines, &mut self.fabric, cfg, self.cycles)
+            }
+            Exec::Threads => run_parallel(&mut self.machines, &mut self.fabric, cfg, self.cycles),
+            Exec::Pool(workers) => {
+                run_pool(&mut self.machines, &mut self.fabric, cfg, self.cycles, workers)
+            }
         };
     }
 
-    /// Like [`ClusterSim::run`] (single-threaded), applying a fault
-    /// injector to every outbound packet in the send phase — see
-    /// [`run_sequential_mangled`].
-    pub fn run_mangled(&mut self, epochs: u64, mangle: Mangle<'_>) {
+    /// Like [`ClusterSim::run`], applying a fault injector to every
+    /// outbound packet in the send phase — see
+    /// [`run_sequential_mangled`] and [`run_pool_mangled`]; both call the
+    /// hook serially in `(boundary, port)` order, so a seeded mangler
+    /// produces the same fault schedule under either executor.
+    ///
+    /// # Panics
+    ///
+    /// Panics on [`Exec::Threads`]: the legacy thread-per-machine
+    /// executor has no deterministic mangle hook.
+    pub fn run_mangled(&mut self, epochs: u64, exec: Exec, mangle: Mangle<'_>) {
         let cfg = EpochConfig {
             epoch_cycles: self.epoch_cycles,
             epochs,
         };
-        self.cycles = run_sequential_mangled(
-            &mut self.machines,
-            &mut self.fabric,
-            cfg,
-            self.cycles,
-            mangle,
-        );
+        self.cycles = match exec {
+            Exec::Sequential => run_sequential_mangled(
+                &mut self.machines,
+                &mut self.fabric,
+                cfg,
+                self.cycles,
+                mangle,
+            ),
+            Exec::Threads => panic!(
+                "the thread-per-machine executor has no deterministic mangle hook; \
+                 use Exec::Sequential or Exec::Pool"
+            ),
+            Exec::Pool(workers) => run_pool_mangled(
+                &mut self.machines,
+                &mut self.fabric,
+                cfg,
+                self.cycles,
+                workers,
+                mangle,
+            ),
+        };
     }
 
     /// Common simulated time elapsed, in microcycles.
@@ -275,26 +335,60 @@ impl ClusterSim {
             .sum()
     }
 
+    /// Request packets client ports offered to the fabric.
+    pub fn requests(&self) -> u64 {
+        let stats = self.fabric.stats();
+        self.roles
+            .iter()
+            .enumerate()
+            .filter(|(_, r)| r.is_client())
+            .map(|(i, _)| stats.ports[i].tx_packets)
+            .sum()
+    }
+
     /// Per-request round-trip latencies in microcycles, one entry per
-    /// matched request/response on every client port (matched by the
-    /// packet sequence word in the fabric logs).
+    /// matched request/response on every client port.  Requests are
+    /// matched to responses by the packet sequence word: per port, each
+    /// inbound response (in arrival order) consumes the oldest
+    /// still-unmatched request carrying the same sequence number.  Linear
+    /// in the log sizes.
     pub fn request_latencies(&self) -> Vec<u64> {
         let mut out = Vec::new();
         for (port, role) in self.roles.iter().enumerate() {
             if !role.is_client() {
                 continue;
             }
-            let rx = self.fabric.rx_log(port);
+            let mut pending: HashMap<Word, VecDeque<u64>> = HashMap::new();
             for tx in self.fabric.tx_log(port) {
-                if let Some(resp) = rx
-                    .iter()
-                    .find(|r| r.seq == tx.seq && r.cycle >= tx.cycle)
-                {
-                    out.push(resp.cycle - tx.cycle);
+                pending.entry(tx.seq).or_default().push_back(tx.cycle);
+            }
+            for rx in self.fabric.rx_log(port) {
+                if let Some(sent) = pending.get_mut(&rx.seq) {
+                    if sent.front().is_some_and(|&t| t <= rx.cycle) {
+                        out.push(rx.cycle - sent.pop_front().expect("front checked"));
+                    }
                 }
             }
         }
         out
+    }
+
+    /// The traffic-model summary: offered load, goodput, drops, and the
+    /// round-trip latency distribution — the block
+    /// [`ClusterSim::report`] attaches to its [`ClusterReport`].
+    pub fn workload_summary(&self) -> WorkloadSummary {
+        let secs = self.clock.to_seconds(dorado_base::Cycles(self.cycles));
+        let per_sec = |n: u64| if secs == 0.0 { 0.0 } else { n as f64 / secs };
+        let requests = self.requests();
+        let responses = self.responses();
+        WorkloadSummary {
+            requests,
+            responses,
+            drops: self.fabric.stats().drops(),
+            offered_rps: per_sec(requests),
+            goodput_rps: per_sec(responses),
+            latency: LatencyStats::from_cycles(self.request_latencies()),
+        }
     }
 
     /// Aggregate completed requests per second of *simulated* time.
@@ -329,8 +423,8 @@ impl ClusterSim {
         snap::restore_image(self, bytes)
     }
 
-    /// The cluster-wide report: per-machine task utilization plus fabric
-    /// bandwidth and drops.
+    /// The cluster-wide report: per-machine task utilization, fabric
+    /// bandwidth and drops, and the request-level SLO summary.
     pub fn report(&self) -> ClusterReport {
         let machines = self
             .labels
@@ -339,6 +433,7 @@ impl ClusterSim {
             .map(|(label, m)| (label.clone(), m.stats()))
             .collect();
         ClusterReport::new(self.clock, self.cycles, machines, self.fabric.stats())
+            .with_workload(self.workload_summary())
     }
 }
 
@@ -391,7 +486,7 @@ mod tests {
     #[test]
     fn closed_loop_pair_completes_requests() {
         let mut sim = ClusterSim::build(&ClusterConfig::pairs(2, 2, 1)).unwrap();
-        sim.run(120, false);
+        sim.run(120, Exec::Sequential);
         assert!(
             sim.served() > 0,
             "server answered nothing: {}",
@@ -409,7 +504,7 @@ mod tests {
     #[test]
     fn self_loop_single_machine() {
         let mut sim = ClusterSim::build(&ClusterConfig::pairs(1, 2, 1)).unwrap();
-        sim.run(120, false);
+        sim.run(120, Exec::Sequential);
         // With no echo server the fabric itself loops requests back; the
         // client still counts them as responses.
         assert!(sim.responses() > 0);
@@ -420,21 +515,21 @@ mod tests {
     fn checkpoint_resume_is_bit_identical() {
         let cfg = ClusterConfig::pairs(2, 2, 1);
         let mut sim = ClusterSim::build(&cfg).unwrap();
-        sim.run(40, false);
+        sim.run(40, Exec::Sequential);
         let cp = sim.save_checkpoint();
-        sim.run(40, false);
+        sim.run(40, Exec::Sequential);
         let straight_report = sim.report();
         let straight_image = sim.save_checkpoint();
 
         sim.restore_checkpoint(&cp).unwrap();
-        sim.run(40, false);
+        sim.run(40, Exec::Sequential);
         assert_eq!(sim.report(), straight_report);
         assert_eq!(sim.save_checkpoint(), straight_image);
 
         // A fresh cluster of the same shape accepts the checkpoint too.
         let mut fresh = ClusterSim::build(&cfg).unwrap();
         fresh.restore_checkpoint(&cp).unwrap();
-        fresh.run(40, false);
+        fresh.run(40, Exec::Sequential);
         assert_eq!(fresh.save_checkpoint(), straight_image);
     }
 
@@ -457,10 +552,11 @@ mod tests {
         cfg.specs[1].role = Role::OpenClient {
             target: 0,
             period: 50,
+            burst: 1,
             payload: 1,
         };
         let mut sim = ClusterSim::build(&cfg).unwrap();
-        sim.run(120, false);
+        sim.run(120, Exec::Sequential);
         let sent = u64::from(ucode::emu_count(&sim.machines[1]));
         assert!(sent > 0, "generator never fired");
         assert!(sim.responses() > 0, "no responses drained");
@@ -468,5 +564,44 @@ mod tests {
             sim.responses() <= sent,
             "responses cannot exceed requests"
         );
+    }
+
+    #[test]
+    fn bursts_multiply_offered_load() {
+        let sent_with_burst = |burst| {
+            let mut sim =
+                ClusterSim::build(&ClusterConfig::open_loop(2, 50, burst, 1)).unwrap();
+            sim.run(120, Exec::Sequential);
+            u64::from(ucode::emu_count(&sim.machines[1]))
+        };
+        let (one, four) = (sent_with_burst(1), sent_with_burst(4));
+        assert!(one > 0, "generator never fired");
+        assert!(
+            four >= 3 * one,
+            "burst 4 should offer several times burst 1's load: {four} vs {one}"
+        );
+    }
+
+    #[test]
+    fn workload_summary_counts_and_latencies() {
+        let mut sim = ClusterSim::build(&ClusterConfig::open_loop(2, 50, 2, 1)).unwrap();
+        sim.run(150, Exec::Sequential);
+        let w = sim.workload_summary();
+        assert!(w.requests > 0, "no requests offered");
+        assert!(w.responses > 0, "no responses completed");
+        assert!(w.responses <= w.requests);
+        assert!(w.offered_rps >= w.goodput_rps);
+        assert!(w.latency.samples > 0, "no request/response pairs matched");
+        assert!(w.latency.p50 <= w.latency.p99);
+        assert!(w.latency.p99 <= w.latency.p999);
+        assert!(w.latency.p999 <= w.latency.max);
+        // Tx stamps are sub-epoch: a round trip can never beat two fabric
+        // flight times of the 5-word request.
+        assert!(w.latency.p50 >= 2 * 7 * 89);
+        let report = sim.report();
+        assert_eq!(report.workload(), Some(&w));
+        let text = format!("{report}");
+        assert!(text.contains("workload"), "{text}");
+        assert!(text.contains("p999"), "{text}");
     }
 }

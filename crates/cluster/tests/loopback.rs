@@ -15,7 +15,7 @@ fn packet_crosses_fabric_word_for_word_at_line_rate() {
     let cfg = FabricConfig::default(); // 3 Mbit/s, 60 ns → 89 cycles/word
     let word_cycles = cfg.word_cycles();
     assert_eq!(word_cycles, 89);
-    let mut fabric = Fabric::new(&cfg, vec![0x100, 0x101]);
+    let fabric = Fabric::new(&cfg, vec![0x100, 0x101]);
     let mut a = NetworkController::new(task());
     let mut b = NetworkController::new(task());
 
@@ -78,7 +78,7 @@ fn packet_crosses_fabric_word_for_word_at_line_rate() {
 #[test]
 fn cross_wired_pair_ping_pong() {
     let cfg = FabricConfig::default();
-    let mut fabric = Fabric::new(&cfg, vec![0x100, 0x101]);
+    let fabric = Fabric::new(&cfg, vec![0x100, 0x101]);
     let mut nets = [NetworkController::new(task()), NetworkController::new(task())];
 
     // A host-level echo: whatever lands at a port is sent back swapped.

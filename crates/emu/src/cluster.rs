@@ -51,6 +51,10 @@ pub const CR_PAYLOAD: u8 = 7;
 pub const CR_LIMIT: u8 = 8;
 /// Scratch countdown.
 pub const CR_TMP: u8 = 9;
+/// Open-loop burst size: requests sent back-to-back at each firing.
+pub const CR_BURST: u8 = 10;
+/// Scratch burst countdown.
+pub const CR_BTMP: u8 = 11;
 
 fn nop() -> Inst {
     Inst::new()
@@ -204,22 +208,31 @@ pub fn emit_closed_client(a: &mut Assembler) {
     a.emit(nop().io_block().goto_("clic:loop"));
 }
 
-/// Emits the open-loop client: `clio:init` (emulator task) sends a
-/// request every `CR_LIMIT` countdown iterations regardless of responses
-/// (`CR_COUNT` counts sends); `clid:init` (network task) drains inbound
-/// responses and counts them in its own `CR_COUNT`.
+/// Emits the open-loop client: `clio:init` (emulator task) fires every
+/// `CR_LIMIT` countdown iterations regardless of responses, sending a
+/// back-to-back burst of `CR_BURST` requests per firing (`CR_COUNT`
+/// counts sends); `clid:init` (network task) drains inbound responses and
+/// counts them in its own `CR_COUNT`.  `CR_BURST` = 0 sends nothing —
+/// preset it to at least 1.
 pub fn emit_open_client(a: &mut Assembler) {
     emit_emu_preamble(a, "clio:init");
     a.label("clio:loop");
     a.emit(nop().rm(CR_LIMIT).alu(AluOp::A).load_t());
     a.emit(nop().rm(CR_TMP).a(ASel::T).alu(AluOp::A).load_rm());
-    a.emit(nop().branch(Cond::Zero, "clio:send", "clio:delay"));
+    a.emit(nop().branch(Cond::Zero, "clio:arm", "clio:delay"));
     a.label("clio:delay");
     a.emit(nop().rm(CR_TMP).alu(AluOp::DEC_A).load_rm());
-    a.emit(nop().branch(Cond::Zero, "clio:send", "clio:delay"));
+    a.emit(nop().branch(Cond::Zero, "clio:arm", "clio:delay"));
+    // The burst countdown: CR_BTMP ← CR_BURST, skipping the whole firing
+    // when the burst size is zero.
+    a.label("clio:arm");
+    a.emit(nop().rm(CR_BURST).alu(AluOp::A).load_t());
+    a.emit(nop().rm(CR_BTMP).a(ASel::T).alu(AluOp::A).load_rm());
+    a.emit(nop().branch(Cond::Zero, "clio:loop", "clio:send"));
     emit_send(a, "clio");
     a.emit(nop().rm(CR_COUNT).alu(AluOp::INC_A).load_rm());
-    a.emit(nop().goto_("clio:loop"));
+    a.emit(nop().rm(CR_BTMP).alu(AluOp::DEC_A).load_rm());
+    a.emit(nop().branch(Cond::Zero, "clio:loop", "clio:send"));
     // Network side: drain and count responses.
     emit_net_preamble(a, "clid:init");
     a.label("clid:loop");
@@ -285,6 +298,23 @@ pub fn preset_emu_client(
     m.set_rm(rm_index(0, CR_LIMIT), limit);
 }
 
+/// Presets an open-loop client's *emulator-task* window: addresses,
+/// sequence, payload, firing period (`CR_LIMIT`), and burst size per
+/// firing (`CR_BURST`).
+#[allow(clippy::too_many_arguments)]
+pub fn preset_open_client(
+    m: &mut Dorado,
+    server: Word,
+    self_addr: Word,
+    seq0: Word,
+    payload: Word,
+    period: Word,
+    burst: Word,
+) {
+    preset_emu_client(m, server, self_addr, seq0, payload, period);
+    m.set_rm(rm_index(0, CR_BURST), burst);
+}
+
 /// The network-task counter: packets served (server) or responses seen
 /// (client).
 pub fn net_count(m: &Dorado) -> Word {
@@ -316,6 +346,7 @@ mod tests {
             "clic:loop",
             "clic:send",
             "clio:loop",
+            "clio:arm",
             "clid:loop",
         ] {
             assert!(placed.address_of(label).is_some(), "{label}");
@@ -328,7 +359,7 @@ mod tests {
     fn register_conventions_are_distinct() {
         let regs = [
             CR_COUNT, CR_IOA_DATA, CR_IOA_CTRL, CR_IOA_LEN, CR_SERVER, CR_SELF,
-            CR_SEQ, CR_PAYLOAD, CR_LIMIT, CR_TMP,
+            CR_SEQ, CR_PAYLOAD, CR_LIMIT, CR_TMP, CR_BURST, CR_BTMP,
         ];
         for (i, a) in regs.iter().enumerate() {
             for b in &regs[i + 1..] {

@@ -162,6 +162,17 @@ pub trait Device: std::fmt::Debug + std::any::Any + Send {
         0
     }
 
+    /// Whether the device holds fully committed outbound work a host-side
+    /// fabric has yet to drain (a network controller's transmitted-packet
+    /// transcript).  This is a *frozen-read* probe: cluster executors call
+    /// it through [`IoSystem::device_by_name`] every epoch, so it must be
+    /// exact without a sync and must not disturb scheduler state — the
+    /// whole point is that an idle machine's controller stays skippable
+    /// instead of being forced awake by an unconditional mutable lookup.
+    fn tx_pending(&self) -> bool {
+        false
+    }
+
     /// Serializes the device's dynamic state into a snapshot (the
     /// object-safe face of [`Snapshot::save`]).  `pending` is the number of
     /// quiescent cycles the scheduler has skipped but not yet folded in via

@@ -40,8 +40,14 @@ pub struct NetworkController {
     /// Words queued by microcode for transmit.
     tx_fifo: VecDeque<Word>,
     tx_current: Vec<Word>,
-    /// Fully transmitted packets, until a fabric drains them.
-    pub transmitted: Vec<Vec<Word>>,
+    /// Fully transmitted packets, each stamped with the controller-local
+    /// cycle its end-of-packet control write committed it, until a fabric
+    /// drains them.
+    pub transmitted: Vec<(u64, Vec<Word>)>,
+    /// Controller-local cycle counter: real ticks plus skipped quiescent
+    /// cycles, so it tracks the machine clock exactly.  Stamps the
+    /// transmit transcript for sub-epoch latency accounting.
+    clock: u64,
     /// Words lost to rx FIFO overflow.
     pub overruns: u64,
     /// Packets lost *entirely* to overrun: every word was dropped, so no
@@ -81,6 +87,7 @@ impl NetworkController {
             tx_fifo: VecDeque::new(),
             tx_current: Vec::new(),
             transmitted: Vec::new(),
+            clock: 0,
             overruns: 0,
             truncated_packets: 0,
             tx_packets: 0,
@@ -102,7 +109,27 @@ impl NetworkController {
     /// Takes the packets transmitted since the last drain, oldest first —
     /// the fabric-facing side of the wire.
     pub fn drain_transmitted(&mut self) -> Vec<Vec<Word>> {
+        self.drain_transmitted_stamped()
+            .into_iter()
+            .map(|(_, words)| words)
+            .collect()
+    }
+
+    /// [`NetworkController::drain_transmitted`], keeping each packet's
+    /// completion stamp: the controller-local cycle at which the
+    /// end-of-packet control write committed it to the wire transcript.
+    /// Cluster executors feed the stamp into the fabric's transmit log so
+    /// request latency is measured from packet completion, not from the
+    /// epoch boundary the drain happens to land on.
+    pub fn drain_transmitted_stamped(&mut self) -> Vec<(u64, Vec<Word>)> {
         std::mem::take(&mut self.transmitted)
+    }
+
+    /// Whether fully transmitted packets are waiting for a fabric drain.
+    /// Exact without a device sync: the transcript only grows on an
+    /// end-of-packet control write, which always syncs.
+    pub fn has_transmitted(&self) -> bool {
+        !self.transmitted.is_empty()
     }
 
     /// Packets fully transmitted since reset (survives draining).
@@ -123,6 +150,9 @@ impl NetworkController {
         w.tag(b"NETC");
         w.u8(self.task.number());
         self.pacer.advanced(pending).save(w);
+        // The local clock free-runs like the pacer: project it over the
+        // skipped window so scheduled and naive images agree byte for byte.
+        w.u64(self.clock + pending);
         w.len(self.inbound.len());
         for pkt in &self.inbound {
             w.word_seq(pkt.iter().copied());
@@ -139,7 +169,8 @@ impl NetworkController {
         w.word_seq(self.tx_fifo.iter().copied());
         w.word_seq(self.tx_current.iter().copied());
         w.len(self.transmitted.len());
-        for pkt in &self.transmitted {
+        for (at, pkt) in &self.transmitted {
+            w.u64(*at);
             w.word_seq(pkt.iter().copied());
         }
         w.u64(self.overruns);
@@ -173,6 +204,7 @@ impl Device for NetworkController {
     }
 
     fn tick(&mut self) {
+        self.clock += 1;
         for _ in 0..self.pacer.step() {
             // Receive side: one word of the in-progress packet arrives.
             if let Some(pkt) = self.inbound.front() {
@@ -250,7 +282,8 @@ impl Device for NetworkController {
                 if !self.tx_current.is_empty() {
                     self.tx_packets += 1;
                     self.tx_words += self.tx_current.len() as u64;
-                    self.transmitted.push(std::mem::take(&mut self.tx_current));
+                    self.transmitted
+                        .push((self.clock, std::mem::take(&mut self.tx_current)));
                 }
             }
             _ => {}
@@ -277,6 +310,11 @@ impl Device for NetworkController {
 
     fn skip(&mut self, cycles: u64) {
         self.pacer = self.pacer.advanced(cycles);
+        self.clock += cycles;
+    }
+
+    fn tx_pending(&self) -> bool {
+        self.has_transmitted()
     }
 
     fn snapshot_save(&self, w: &mut Writer, pending: u64) {
@@ -299,6 +337,7 @@ impl Snapshot for NetworkController {
             return Err(SnapError::Mismatch { what: "network task" });
         }
         self.pacer.restore(r)?;
+        self.clock = r.u64()?;
         let inbound = r.len()?;
         self.inbound.clear();
         for _ in 0..inbound {
@@ -320,7 +359,8 @@ impl Snapshot for NetworkController {
         let transmitted = r.len()?;
         self.transmitted.clear();
         for _ in 0..transmitted {
-            self.transmitted.push(r.word_seq()?);
+            let at = r.u64()?;
+            self.transmitted.push((at, r.word_seq()?));
         }
         self.overruns = r.u64()?;
         self.truncated_packets = r.u64()?;
@@ -366,12 +406,13 @@ mod tests {
             n.tick();
         }
         n.output(2, 0); // end of packet
-        assert_eq!(n.transmitted, vec![vec![1, 2, 3]]);
+        assert_eq!(n.transmitted, vec![(400, vec![1, 2, 3])]);
+        assert!(n.has_transmitted());
         // Next packet accumulates separately.
         n.output(0, 9);
         n.output(2, 0);
         assert_eq!(n.transmitted.len(), 2);
-        assert_eq!(n.transmitted[1], vec![9]);
+        assert_eq!(n.transmitted[1], (400, vec![9]));
         assert_eq!(n.tx_packets(), 2);
         assert_eq!(n.tx_words(), 4);
     }
@@ -383,8 +424,30 @@ mod tests {
         n.output(2, 0);
         assert_eq!(n.drain_transmitted(), vec![vec![7]]);
         assert!(n.drain_transmitted().is_empty());
+        assert!(!n.has_transmitted());
         assert_eq!(n.tx_packets(), 1);
         assert_eq!(n.tx_words(), 1);
+    }
+
+    #[test]
+    fn transmit_stamps_track_the_local_clock() {
+        let mut n = net();
+        n.output(0, 1);
+        n.output(2, 0); // committed before any tick: stamp 0
+        for _ in 0..123 {
+            n.tick();
+        }
+        n.output(0, 2);
+        n.output(2, 0);
+        // A skipped quiescent window counts like real ticks.
+        n.skip(77);
+        n.output(0, 3);
+        n.output(2, 0);
+        let got = n.drain_transmitted_stamped();
+        assert_eq!(
+            got,
+            vec![(0, vec![1]), (123, vec![2]), (200, vec![3])]
+        );
     }
 
     #[test]

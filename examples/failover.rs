@@ -10,7 +10,7 @@
 //!
 //! Exits nonzero if the recovered cluster diverges from the straight run.
 
-use dorado::cluster::{inject, ClusterConfig, ClusterSim, PacketMangler};
+use dorado::cluster::{inject, ClusterConfig, ClusterSim, Exec, PacketMangler};
 
 fn parse<T: std::str::FromStr>(flag: &str, value: &str) -> Result<T, String> {
     value
@@ -24,13 +24,19 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     let mut kill_epoch = 17u64;
     let mut victim = 3usize;
     let mut seed = 0xD0D0u64;
+    let mut exec = Exec::Pool(0);
     for arg in std::env::args().skip(1) {
+        if arg == "--sequential" {
+            exec = Exec::Sequential;
+            continue;
+        }
         match arg.split_once('=') {
             Some(("--machines", v)) => machines = parse("--machines", v)?,
             Some(("--epochs", v)) => epochs = parse("--epochs", v)?,
             Some(("--kill-epoch", v)) => kill_epoch = parse("--kill-epoch", v)?,
             Some(("--victim", v)) => victim = parse("--victim", v)?,
             Some(("--seed", v)) => seed = parse("--seed", v)?,
+            Some(("--pool", v)) => exec = Exec::Pool(parse("--pool", v)?),
             _ => return Err(format!("unknown argument `{arg}`").into()),
         }
     }
@@ -43,11 +49,12 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
 
     // The reference: the same cluster, uninterrupted.
     let mut straight = ClusterSim::build(&cfg)?;
-    straight.run(epochs, false);
+    straight.run(epochs, exec);
 
-    // The faulted run: crash, roll back, replay, finish.
+    // The faulted run: crash, roll back, replay, finish — under the same
+    // (production pool, by default) executor.
     let mut faulted = ClusterSim::build(&cfg)?;
-    let recovery = inject::kill_and_recover(&mut faulted, epochs, kill_epoch, victim, seed);
+    let recovery = inject::kill_and_recover(&mut faulted, epochs, kill_epoch, victim, seed, exec);
     println!(
         "recovered from a {}-byte checkpoint, replaying {} cycles",
         recovery.checkpoint_bytes, recovery.replayed_cycles
@@ -68,7 +75,7 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     // source) and lose packets on the wire, deterministically from a seed.
     let mut mangled = ClusterSim::build(&cfg)?;
     let mut mangler = PacketMangler::new(seed, 150, 50);
-    mangled.run_mangled(epochs, &mut |_, _, pkt| mangler.apply(pkt));
+    mangled.run_mangled(epochs, exec, &mut |_, _, pkt| mangler.apply(pkt));
     println!(
         "mangler: {} corrupted, {} lost on the wire; fabric drops {}; {} response(s) \
          (vs {} clean)",
