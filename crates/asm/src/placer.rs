@@ -142,6 +142,40 @@ impl PlacedProgram {
     pub fn set_word(&mut self, addr: MicroAddr, word: Microword) {
         self.words[addr.raw() as usize] = word;
     }
+
+    /// Replaces a placer relay word with a copy of instruction `inst`
+    /// (branch-slot filling): the word, provenance, and statistics all
+    /// change together so listings, structural verification, and the CFG
+    /// stay coherent with the patched image.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the slot at `addr` does not hold a relay — only wasted
+    /// branch-window words may be filled this way.
+    pub fn fill_relay(&mut self, addr: MicroAddr, word: Microword, inst: usize) {
+        let raw = addr.raw() as usize;
+        assert!(
+            matches!(self.uses[raw], SlotUse::Relay(_)),
+            "fill_relay at {addr}: slot holds {:?}, not a relay",
+            self.uses[raw]
+        );
+        self.words[raw] = word;
+        self.uses[raw] = SlotUse::Inst(inst);
+        self.stats.relays -= 1;
+        self.stats.instructions += 1;
+    }
+}
+
+/// Advisory placement preferences an optimizer can feed into
+/// [`place_with_hints`].  Hints never change program semantics — they only
+/// bias where the packer puts things.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct PlacementHints {
+    /// Labels to place at even addresses (as if the source carried a
+    /// `pair_align` directive), so branches targeting them can reuse the
+    /// even/odd pair ("case A") instead of burning relay words.  Unknown
+    /// labels are ignored.
+    pub pair_align: Vec<String>,
 }
 
 /// Internal repair requests discovered during encoding.
@@ -310,7 +344,26 @@ fn compact(listing: &Listing<'_>, layout: &mut Layout) {
 /// Returns an [`AsmError`] for undefined/duplicate labels, store overflow,
 /// misaligned dispatch tables, or unsatisfiable FF sharing.
 pub fn place(program: &MicroProgram) -> Result<PlacedProgram, AsmError> {
-    let listing = preprocess(program)?;
+    place_with_hints(program, &PlacementHints::default())
+}
+
+/// [`place`] with advisory [`PlacementHints`]: hinted labels acquire a
+/// pair-align constraint before layout, biasing branch pairs onto even/odd
+/// addresses so later branches can reuse them.
+///
+/// # Errors
+///
+/// Same failure modes as [`place`].
+pub fn place_with_hints(
+    program: &MicroProgram,
+    hints: &PlacementHints,
+) -> Result<PlacedProgram, AsmError> {
+    let mut listing = preprocess(program)?;
+    for label in &hints.pair_align {
+        if let Some(&i) = listing.label_index.get(label.as_str()) {
+            listing.pair_align[i] = true;
+        }
+    }
     let mut breaks: HashSet<usize> = HashSet::new();
     let mut relays: HashMap<usize, Vec<String>> = HashMap::new();
     // Each repair round adds a break or a relay keyed by instruction, so
@@ -758,6 +811,19 @@ fn encode_pass(listing: &Listing<'_>, layout: &Layout) -> EncodeResult {
         }
     }
     Ok((words, uses, stats))
+}
+
+/// Chooses short or long form for a transfer from `at` to `dest`,
+/// returning `None` when no encoding exists (cross-page with a busy FF).
+/// This is [`route`] for external rewriters — branch-slot filling re-aims
+/// a copied instruction's control field with it.
+pub fn reroute(
+    at: MicroAddr,
+    dest: MicroAddr,
+    ff_free: bool,
+    call: bool,
+) -> Option<(ControlOp, u8)> {
+    route(at, dest, ff_free, call).ok()
 }
 
 /// Chooses short or long form for a transfer from `at` to `dest`.

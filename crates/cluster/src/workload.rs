@@ -27,7 +27,7 @@ use dorado_base::{ClusterReport, LatencyStats, Word, WorkloadSummary};
 use dorado_core::Dorado;
 use dorado_emu::cluster as ucode;
 use dorado_emu::layout::{IOA_NET, TASK_EMU, TASK_NET};
-use dorado_emu::suite::SuiteError;
+use dorado_emu::suite::{Suite, SuiteError};
 use dorado_emu::SuiteBuilder;
 use dorado_io::NetworkController;
 
@@ -180,6 +180,21 @@ impl ClusterSim {
     /// Panics if a client targets a port outside the cluster.
     pub fn build(cfg: &ClusterConfig) -> Result<Self, SuiteError> {
         let suite = SuiteBuilder::new().with_cluster().assemble()?;
+        Self::build_with(cfg, &suite)
+    }
+
+    /// [`ClusterSim::build`] on a caller-supplied suite (which must
+    /// contain the cluster modules) — for running the workloads on an
+    /// optimized or otherwise externally-placed image.
+    ///
+    /// # Errors
+    ///
+    /// Propagates machine build failures.
+    ///
+    /// # Panics
+    ///
+    /// Panics if a client targets a port outside the cluster.
+    pub fn build_with(cfg: &ClusterConfig, suite: &Suite) -> Result<Self, SuiteError> {
         let addresses: Vec<Word> = (0..cfg.specs.len()).map(port_address).collect();
         let fabric = Fabric::new(&cfg.fabric, addresses);
         let mut machines = Vec::with_capacity(cfg.specs.len());

@@ -175,6 +175,17 @@ pub fn build_machine(kind: ScenarioKind) -> Dorado {
         .with_bitblt()
         .assemble()
         .expect("scenario suite assembles");
+    build_machine_on(kind, &suite)
+}
+
+/// [`build_machine`] on a caller-supplied suite (which must contain the
+/// scenario and BitBlt modules) — for running the workstation on an
+/// optimized or otherwise externally-placed image.
+///
+/// # Panics
+///
+/// Panics if the machine fails to build.
+pub fn build_machine_on(kind: ScenarioKind, suite: &crate::Suite) -> Dorado {
     let mut display = DisplayController::with_rate(TASK_DISPLAY, DISPLAY_MBPS, 60.0);
     display.set_framebuffer(Framebuffer::new(SCREEN_WORDS, SCREEN_LINES));
     display.start();
@@ -332,7 +343,35 @@ pub fn drive_mode(
     mode: ExecMode,
     hook: &mut StepHook<'_>,
 ) -> ScenarioReport {
-    let mut m = build_machine(kind);
+    let m = build_machine(kind);
+    drive_machine(kind, m, always_tick, mode, hook)
+}
+
+/// [`drive_mode`] on a caller-supplied suite (which must contain the
+/// scenario and BitBlt modules).
+///
+/// # Panics
+///
+/// Panics if the scenario wedges — deterministic scripts either
+/// complete or are broken.
+pub fn drive_mode_on(
+    kind: ScenarioKind,
+    suite: &crate::Suite,
+    always_tick: bool,
+    mode: ExecMode,
+    hook: &mut StepHook<'_>,
+) -> ScenarioReport {
+    let m = build_machine_on(kind, suite);
+    drive_machine(kind, m, always_tick, mode, hook)
+}
+
+fn drive_machine(
+    kind: ScenarioKind,
+    mut m: Dorado,
+    always_tick: bool,
+    mode: ExecMode,
+    hook: &mut StepHook<'_>,
+) -> ScenarioReport {
     m.set_exec_mode(mode);
     m.io_mut().set_always_tick(always_tick);
     let mut step = 0u32;

@@ -6,7 +6,7 @@
 //! address 0, where unknown opcodes dispatch), and [`Suite`] wires the
 //! result into a [`Dorado`].
 
-use dorado_asm::{Assembler, AsmError, Inst, PlacedProgram};
+use dorado_asm::{Assembler, AsmError, Inst, MicroProgram, PlacedProgram};
 use dorado_core::{BuildError, Dorado, DoradoBuilder};
 
 use crate::{bitblt, devices, layout, mesa};
@@ -182,6 +182,17 @@ impl SuiteBuilder {
     ///
     /// Propagates placement failures.
     pub fn assemble(self) -> Result<Suite, AsmError> {
+        let (modules, program) = self.program();
+        Ok(Suite {
+            modules,
+            placed: program.place()?,
+        })
+    }
+
+    /// Emits the suite as a symbolic [`MicroProgram`] without placing
+    /// it — the entry point for external rewriters (`dorado-uopt`)
+    /// that transform the listing before placement.
+    pub fn program(self) -> (Modules, MicroProgram) {
         let mut a = Assembler::new();
         // Microstore address 0: the trap for undefined opcodes (the IFU's
         // default decode entry) — halt so tests notice immediately.
@@ -233,10 +244,7 @@ impl SuiteBuilder {
             devices::emit_mouse_rx(&mut a);
             devices::emit_scenario_idle(&mut a);
         }
-        Ok(Suite {
-            modules: m,
-            placed: a.place()?,
-        })
+        (m, a.program())
     }
 }
 
@@ -248,6 +256,12 @@ pub struct Suite {
 }
 
 impl Suite {
+    /// Wraps an externally-placed image (e.g. one rewritten by
+    /// `dorado-uopt` from [`SuiteBuilder::program`]) in a suite.
+    pub fn from_parts(modules: Modules, placed: PlacedProgram) -> Self {
+        Suite { modules, placed }
+    }
+
     /// The placed microstore image.
     pub fn placed(&self) -> &PlacedProgram {
         &self.placed
@@ -302,6 +316,30 @@ pub fn build_mesa_with(
     customize: impl FnOnce(DoradoBuilder) -> DoradoBuilder,
 ) -> Result<Dorado, SuiteError> {
     let suite = SuiteBuilder::new().with_mesa().assemble()?;
+    build_mesa_on_with(&suite, bytes, customize)
+}
+
+/// Like [`build_mesa`], on a caller-supplied suite (which must contain
+/// the Mesa emulator) — the entry point for running programs on an
+/// optimized or otherwise externally-placed image.
+///
+/// # Errors
+///
+/// Propagates build failures.
+pub fn build_mesa_on(suite: &Suite, bytes: &[u8]) -> Result<Dorado, SuiteError> {
+    build_mesa_on_with(suite, bytes, |b| b)
+}
+
+/// Like [`build_mesa_on`], letting the caller adjust the machine builder.
+///
+/// # Errors
+///
+/// Propagates build failures.
+pub fn build_mesa_on_with(
+    suite: &Suite,
+    bytes: &[u8],
+    customize: impl FnOnce(DoradoBuilder) -> DoradoBuilder,
+) -> Result<Dorado, SuiteError> {
     let builder = customize(
         suite
             .machine()
@@ -321,6 +359,16 @@ pub fn build_mesa_with(
 /// Propagates placement and build failures.
 pub fn build_lisp(bytes: &[u8]) -> Result<Dorado, SuiteError> {
     let suite = SuiteBuilder::new().with_lisp().assemble()?;
+    build_lisp_on(&suite, bytes)
+}
+
+/// Like [`build_lisp`], on a caller-supplied suite (which must contain
+/// the Lisp emulator).
+///
+/// # Errors
+///
+/// Propagates build failures.
+pub fn build_lisp_on(suite: &Suite, bytes: &[u8]) -> Result<Dorado, SuiteError> {
     let mut m = suite
         .machine()
         .task_entry(layout::TASK_EMU, "lisp:boot")
@@ -338,6 +386,16 @@ pub fn build_lisp(bytes: &[u8]) -> Result<Dorado, SuiteError> {
 /// Propagates placement and build failures.
 pub fn build_bcpl(bytes: &[u8]) -> Result<Dorado, SuiteError> {
     let suite = SuiteBuilder::new().with_bcpl().assemble()?;
+    build_bcpl_on(&suite, bytes)
+}
+
+/// Like [`build_bcpl`], on a caller-supplied suite (which must contain
+/// the BCPL emulator).
+///
+/// # Errors
+///
+/// Propagates build failures.
+pub fn build_bcpl_on(suite: &Suite, bytes: &[u8]) -> Result<Dorado, SuiteError> {
     let mut m = suite
         .machine()
         .task_entry(layout::TASK_EMU, "bcpl:boot")
@@ -355,6 +413,16 @@ pub fn build_bcpl(bytes: &[u8]) -> Result<Dorado, SuiteError> {
 /// Propagates placement and build failures.
 pub fn build_smalltalk(bytes: &[u8]) -> Result<Dorado, SuiteError> {
     let suite = SuiteBuilder::new().with_smalltalk().assemble()?;
+    build_smalltalk_on(&suite, bytes)
+}
+
+/// Like [`build_smalltalk`], on a caller-supplied suite (which must
+/// contain the Smalltalk emulator).
+///
+/// # Errors
+///
+/// Propagates build failures.
+pub fn build_smalltalk_on(suite: &Suite, bytes: &[u8]) -> Result<Dorado, SuiteError> {
     let mut m = suite
         .machine()
         .task_entry(layout::TASK_EMU, "st:boot")

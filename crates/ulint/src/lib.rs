@@ -21,6 +21,7 @@
 //! | `stack-depth` | unbounded or >64-word emulator stack excursions |
 //! | `task-safety` | shared COUNT/Q/SHIFTCTL/STACKPTR values live across task switches |
 //! | `dead-code` | unreachable words and never-taken CNT=0 branch arms |
+//! | `wasted-slot` | branch-window relays and hold-shadow no-ops (informational census) |
 //!
 //! The hold and stack site sets mirror the simulator's own checks, so
 //! they are *validated differentially*: running a workload and mapping
@@ -54,8 +55,10 @@ use dorado_base::MicroAddr;
 
 pub use cfg::Cfg;
 pub use diag::{Diagnostic, Severity};
-pub use passes::hold::{hold_sites, HoldSites};
+pub use passes::dead_code::{cnt_dead_arms, CntArm, CntArmFact};
+pub use passes::hold::{fetch_started, hold_sites, HoldSites};
 pub use passes::stack_depth::stack_sites;
+pub use passes::wasted_slot::{wasted_slots, WasteKind, WastedSlot};
 pub use passes::{all_passes, Pass, PassCtx};
 
 /// Label prefixes that mark I/O-task microcode entries; all other
@@ -125,25 +128,99 @@ impl LintReport {
     }
 }
 
-/// Lints `placed` with roots inferred from its labels.
-pub fn lint(placed: &PlacedProgram) -> LintReport {
-    lint_with_config(placed, &LintConfig::infer(placed))
+/// The analyzer's computed facts over one placed image, packaged as a
+/// reusable query API: the CFG, per-task reachability, hold sites, dead
+/// CNT branch arms, and the wasted-slot census.  This is what a
+/// *transformation* layer (`dorado-uopt`) consumes as its dependence and
+/// safety oracle; the diagnostic pipeline ([`lint`]) is a thin rendering
+/// of the same facts.
+#[derive(Debug)]
+pub struct Analyses {
+    /// The root classification the facts were computed under.
+    pub config: LintConfig,
+    /// The control-flow graph over the placed image.
+    pub cfg: Cfg,
+    /// Words reachable from emulator-task roots (dense, by raw address).
+    pub emu_reach: Vec<bool>,
+    /// Words reachable from I/O-task roots.
+    pub io_reach: Vec<bool>,
+    /// Statically predicted Hold sites, per cause.
+    pub hold: HoldSites,
+    /// Per-word input of the "a fetch may have started" analysis
+    /// (dense, by raw address): `true` iff some root-to-word path
+    /// starts a fetch before the word executes.
+    pub fetch_started: Vec<bool>,
+    /// CNT=0 branches with a proven-dead arm.
+    pub cnt_arms: Vec<CntArmFact>,
+    /// The wasted-slot census (relays, hold-shadow no-ops).
+    pub wasted: Vec<WastedSlot>,
 }
 
-/// Lints `placed` with an explicit root classification.
-pub fn lint_with_config(placed: &PlacedProgram, config: &LintConfig) -> LintReport {
+impl Analyses {
+    /// A [`PassCtx`] over these facts, for running individual passes or
+    /// the fact queries (`cnt_dead_arms`, `wasted_slots`) without
+    /// recomputing the CFG and reachability.
+    pub fn ctx<'a>(&'a self, placed: &'a PlacedProgram) -> PassCtx<'a> {
+        PassCtx {
+            placed,
+            cfg: &self.cfg,
+            config: &self.config,
+            emu_reach: &self.emu_reach,
+            io_reach: &self.io_reach,
+        }
+    }
+}
+
+/// Analyzes `placed` with roots inferred from its labels.
+pub fn analyze(placed: &PlacedProgram) -> Analyses {
+    analyze_with_config(placed, LintConfig::infer(placed))
+}
+
+/// Analyzes `placed` under an explicit root classification.
+pub fn analyze_with_config(placed: &PlacedProgram, config: LintConfig) -> Analyses {
     let cfg = Cfg::build(placed);
     let emu: Vec<MicroAddr> = config.emu_roots.iter().map(|&(_, a)| a).collect();
     let io: Vec<MicroAddr> = config.io_roots.iter().map(|&(_, a)| a).collect();
     let emu_reach = cfg.reach(&emu);
     let io_reach = cfg.reach(&io);
-    let ctx = PassCtx {
-        placed,
-        cfg: &cfg,
-        config,
-        emu_reach: &emu_reach,
-        io_reach: &io_reach,
+    let all_roots: Vec<MicroAddr> = emu.iter().chain(io.iter()).copied().collect();
+    let fetch_started = passes::hold::fetch_started(&cfg, &all_roots);
+    let (hold, cnt_arms, wasted) = {
+        let ctx = PassCtx {
+            placed,
+            cfg: &cfg,
+            config: &config,
+            emu_reach: &emu_reach,
+            io_reach: &io_reach,
+        };
+        (
+            hold_sites(ctx.cfg),
+            cnt_dead_arms(&ctx),
+            wasted_slots(&ctx),
+        )
     };
+    Analyses {
+        config,
+        cfg,
+        emu_reach,
+        io_reach,
+        hold,
+        fetch_started,
+        cnt_arms,
+        wasted,
+    }
+}
+
+/// Lints `placed` with roots inferred from its labels.
+pub fn lint(placed: &PlacedProgram) -> LintReport {
+    lint_with_config(placed, &LintConfig::infer(placed))
+}
+
+/// Lints `placed` with an explicit root classification: runs [`analyze`]
+/// once and renders every pass's findings over the shared facts.
+pub fn lint_with_config(placed: &PlacedProgram, config: &LintConfig) -> LintReport {
+    let analyses = analyze_with_config(placed, config.clone());
+    let ctx = analyses.ctx(placed);
     let mut report = LintReport::default();
     for pass in all_passes() {
         let start = std::time::Instant::now();

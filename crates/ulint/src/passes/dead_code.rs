@@ -65,6 +65,82 @@ impl Domain for CountInterval {
     }
 }
 
+/// Which arm of a CNT=0 conditional branch can never be taken.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum CntArm {
+    /// COUNT is provably 0 at the branch: the CNT≠0 (false) arm is dead,
+    /// the branch always goes to its true target.
+    AlwaysZero,
+    /// COUNT is provably nonzero at the branch: the CNT=0 (true) arm is
+    /// dead, the branch always falls to its false target.
+    NeverZero,
+}
+
+/// One proven-dead branch arm: the branch address, which arm is dead,
+/// and the COUNT interval that proves it (tested *after* the word's own
+/// FF executes, per §6.3.3).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct CntArmFact {
+    /// Address of the CNT=0 conditional branch.
+    pub at: dorado_base::MicroAddr,
+    /// Which arm is dead.
+    pub arm: CntArm,
+    /// The post-FF COUNT interval at the branch.
+    pub interval: (u16, u16),
+}
+
+/// Computes the dead CNT branch arms over `ctx` — the query behind both
+/// the diagnostic pass and the optimizer's dead-arm elimination.  The
+/// interval analysis is gated off wherever COUNT is shared across task
+/// classes (the task-safety pass reports that situation itself).
+pub fn cnt_dead_arms(ctx: &PassCtx<'_>) -> Vec<CntArmFact> {
+    let mut out = Vec::new();
+    let emu_writes = ctx
+        .cfg
+        .iter()
+        .any(|n| ctx.emu_reach[n.addr.raw() as usize] && writes_count(n.word));
+    let io_writes = ctx
+        .cfg
+        .iter()
+        .any(|n| ctx.io_reach[n.addr.raw() as usize] && writes_count(n.word));
+    let mut roots = ctx.emu_roots();
+    roots.extend(ctx.io_roots());
+    let counts = fixpoint(ctx.cfg, &roots, &CountInterval, 4);
+    for node in ctx.cfg.iter() {
+        let Ok(ControlOp::CondGoto {
+            cond: Cond::CntZero,
+            ..
+        }) = node.word.control()
+        else {
+            continue;
+        };
+        let i = node.addr.raw() as usize;
+        if (ctx.emu_reach[i] && io_writes) || (ctx.io_reach[i] && emu_writes) {
+            continue;
+        }
+        let Some(input) = counts.input(node.addr) else {
+            continue;
+        };
+        let Some((lo, hi)) = CountInterval.transfer(node, input) else {
+            continue;
+        };
+        if lo == 0 && hi == 0 {
+            out.push(CntArmFact {
+                at: node.addr,
+                arm: CntArm::AlwaysZero,
+                interval: (lo, hi),
+            });
+        } else if lo > 0 {
+            out.push(CntArmFact {
+                at: node.addr,
+                arm: CntArm::NeverZero,
+                interval: (lo, hi),
+            });
+        }
+    }
+    out
+}
+
 /// The dead-code pass.
 pub struct DeadCode;
 
@@ -87,59 +163,22 @@ impl Pass for DeadCode {
             }
         }
         // CNT=0 dead arms, gated on COUNT being single-task.
-        let emu_writes = ctx
-            .cfg
-            .iter()
-            .any(|n| ctx.emu_reach[n.addr.raw() as usize] && writes_count(n.word));
-        let io_writes = ctx
-            .cfg
-            .iter()
-            .any(|n| ctx.io_reach[n.addr.raw() as usize] && writes_count(n.word));
-        let mut roots = ctx.emu_roots();
-        roots.extend(ctx.io_roots());
-        let counts = fixpoint(ctx.cfg, &roots, &CountInterval, 4);
-        for node in ctx.cfg.iter() {
-            let Ok(ControlOp::CondGoto {
-                cond: Cond::CntZero,
-                ..
-            }) = node.word.control()
-            else {
-                continue;
+        for fact in cnt_dead_arms(ctx) {
+            let (lo, hi) = fact.interval;
+            let message = match fact.arm {
+                CntArm::AlwaysZero => {
+                    "the CNT≠0 arm of this branch is never taken: COUNT is always 0 here"
+                        .to_string()
+                }
+                CntArm::NeverZero => format!(
+                    "the CNT=0 arm of this branch is never taken: COUNT is always in \
+                     [{lo}, {hi}] here"
+                ),
             };
-            let i = node.addr.raw() as usize;
-            if (ctx.emu_reach[i] && io_writes) || (ctx.io_reach[i] && emu_writes) {
-                continue;
-            }
-            let Some(input) = counts.input(node.addr) else {
-                continue;
-            };
-            let Some((lo, hi)) = CountInterval.transfer(node, input) else {
-                continue;
-            };
-            if lo == 0 && hi == 0 {
-                out.push(
-                    Diagnostic::new(
-                        self.name(),
-                        Severity::Warning,
-                        node.addr,
-                        "the CNT≠0 arm of this branch is never taken: COUNT is always 0 here",
-                    )
+            out.push(
+                Diagnostic::new(self.name(), Severity::Warning, fact.at, message)
                     .note("the branch condition tests COUNT after this word's FF executes"),
-                );
-            } else if lo > 0 {
-                out.push(
-                    Diagnostic::new(
-                        self.name(),
-                        Severity::Warning,
-                        node.addr,
-                        format!(
-                            "the CNT=0 arm of this branch is never taken: COUNT is always in \
-                             [{lo}, {hi}] here"
-                        ),
-                    )
-                    .note("the branch condition tests COUNT after this word's FF executes"),
-                );
-            }
+            );
         }
         out
     }

@@ -21,7 +21,7 @@
 //! undefined data (Warning).
 
 use dorado_asm::{ASel, BSel, FfOp, LoadControl, Microword};
-use dorado_base::{HoldCause, MicroAddr};
+use dorado_base::{HoldCause, MicroAddr, MICROSTORE_SIZE};
 
 use crate::analysis::{fixpoint, Domain};
 use crate::cfg::{Cfg, Node};
@@ -30,6 +30,7 @@ use crate::diag::{Diagnostic, Severity};
 use super::{ff_function, Pass, PassCtx};
 
 /// The statically predicted hold sites, per cause.
+#[derive(Debug, Clone)]
 pub struct HoldSites {
     /// `by_cause[cause.index()]` lists every word where that cause can
     /// raise Hold.
@@ -122,6 +123,18 @@ fn bypassed_pair(prev: Microword, next: Microword) -> Option<&'static str> {
         return Some("Q");
     }
     None
+}
+
+/// Input states of the "a fetch may have started" analysis from
+/// `roots`, dense by raw address: `true` iff some root-to-word path
+/// starts a fetch before the word executes.  A MEMDATA consumer whose
+/// input is `false` is exactly what the pass warns about — a rewriter
+/// placing a copy of such a consumer must check this first.
+pub fn fetch_started(cfg: &Cfg, roots: &[MicroAddr]) -> Vec<bool> {
+    let fetched = fixpoint(cfg, roots, &FetchStarted, 4);
+    (0..MICROSTORE_SIZE)
+        .map(|raw| fetched.input(MicroAddr::new(raw as u16)) == Some(&true))
+        .collect()
 }
 
 /// The hold-hazard pass.

@@ -13,6 +13,7 @@ pub mod ff_conflict;
 pub mod hold;
 pub mod stack_depth;
 pub mod task_safety;
+pub mod wasted_slot;
 
 /// Everything a pass gets to look at.
 pub struct PassCtx<'a> {
@@ -57,6 +58,7 @@ pub fn all_passes() -> Vec<Box<dyn Pass>> {
         Box::new(stack_depth::StackDepth),
         Box::new(task_safety::TaskSafety),
         Box::new(dead_code::DeadCode),
+        Box::new(wasted_slot::WastedSlotPass),
     ]
 }
 

@@ -1,0 +1,166 @@
+//! Dead-arm elimination: resolve CNT branches whose outcome ulint's
+//! COUNT interval analysis has proven, then delete listing entries no
+//! root can reach, reclaiming microstore words.
+//!
+//! The rewrite is semantics-preserving by the lint facts themselves: a
+//! `CntArmFact` says the branch condition has one possible value at
+//! that word (the interval analysis is gated off when COUNT is shared
+//! across task classes), so replacing the conditional with an
+//! unconditional transfer to the live arm executes the identical word
+//! sequence — the word's data path, FF (a `CNT-1` rides along
+//! unchanged), and flags are untouched, only the NEXTPC encoding
+//! changes.
+//!
+//! Deletion is driven by the placed CFG's reachability under the
+//! configured [`crate::RootPolicy`].  Labels attached to a deleted
+//! instruction are deleted with it; a fixpoint first *revives* any
+//! instruction whose label is still referenced by surviving flow (or
+//! is a root), so the swept listing never dangles.
+
+use std::collections::HashSet;
+
+use dorado_asm::{Cond, Flow, Item, PlacedProgram, SlotUse};
+use dorado_ulint::{Analyses, CntArm};
+
+use crate::{inst_positions, OptReport};
+
+/// Rewrites every proven CNT branch in `items` to an unconditional
+/// transfer to its live arm, using the facts in `an` (computed over
+/// `placed`, the current placement of `items`).
+pub fn resolve(
+    items: &mut [Item],
+    placed: &PlacedProgram,
+    an: &Analyses,
+    report: &mut OptReport,
+) {
+    let positions = inst_positions(items);
+    for fact in &an.cnt_arms {
+        let SlotUse::Inst(i) = placed.uses()[fact.at.raw() as usize] else {
+            continue;
+        };
+        let Some(&p) = positions.get(i) else { continue };
+        let Item::Inst(inst) = &mut items[p] else {
+            continue;
+        };
+        let Flow::Branch {
+            cond: Cond::CntZero,
+            when_true,
+            when_false,
+        } = &inst.flow
+        else {
+            continue;
+        };
+        let live = match fact.arm {
+            CntArm::AlwaysZero => when_true.clone(),
+            CntArm::NeverZero => when_false.clone(),
+        };
+        inst.flow = Flow::Goto(live);
+        report.dead_arms_resolved += 1;
+        report.sym_note(i, "uopt deadarm: proven CNT branch resolved to a goto");
+    }
+}
+
+/// Deletes every instruction (and its attached labels and directives)
+/// that `an` proves unreachable under the configured roots, remapping
+/// `report`'s symbolic notes across the renumbering.
+pub fn sweep(
+    items: &mut Vec<Item>,
+    placed: &PlacedProgram,
+    an: &Analyses,
+    report: &mut OptReport,
+) {
+    let n = inst_positions(items).len();
+    let mut live: Vec<bool> = (0..n)
+        .map(|i| {
+            let addr = placed.inst_addr(i).expect("every inst is placed");
+            let raw = addr.raw() as usize;
+            an.emu_reach[raw] || an.io_reach[raw]
+        })
+        .collect();
+
+    // Labels attached to each instruction index.
+    let mut label_of: Vec<(String, usize)> = Vec::new();
+    {
+        let mut pending: Vec<String> = Vec::new();
+        let mut k = 0usize;
+        for item in items.iter() {
+            match item {
+                Item::Label(name) => pending.push(name.clone()),
+                Item::Inst(_) => {
+                    for name in pending.drain(..) {
+                        label_of.push((name, k));
+                    }
+                    k += 1;
+                }
+                _ => {}
+            }
+        }
+    }
+
+    // Revive anything whose label survives as a reference: a root, or
+    // named by the flow of a surviving instruction.  (Reachability over
+    // the placed CFG already implies this in the common case; the
+    // fixpoint guards the listing against dangling references no matter
+    // what the analysis said.)
+    let roots: HashSet<&str> = an
+        .config
+        .emu_roots
+        .iter()
+        .chain(an.config.io_roots.iter())
+        .map(|(name, _)| name.as_str())
+        .collect();
+    loop {
+        let mut referenced: HashSet<&str> = roots.clone();
+        let mut k = 0usize;
+        for item in items.iter() {
+            if let Item::Inst(inst) = item {
+                if live[k] {
+                    referenced.extend(inst.flow.labels());
+                }
+                k += 1;
+            }
+        }
+        let mut changed = false;
+        for (name, k) in &label_of {
+            if !live[*k] && referenced.contains(name.as_str()) {
+                live[*k] = true;
+                changed = true;
+            }
+        }
+        if !changed {
+            break;
+        }
+    }
+
+    if live.iter().all(|&l| l) {
+        return;
+    }
+
+    // Rebuild: a dead instruction takes its pending labels/directives
+    // with it (they attached to that word, and nothing references them).
+    let mut out = Vec::with_capacity(items.len());
+    let mut pending: Vec<Item> = Vec::new();
+    let mut old2new: Vec<Option<usize>> = vec![None; n];
+    let mut k = 0usize;
+    let mut fresh = 0usize;
+    for item in items.drain(..) {
+        match item {
+            Item::Inst(inst) => {
+                if live[k] {
+                    out.append(&mut pending);
+                    out.push(Item::Inst(inst));
+                    old2new[k] = Some(fresh);
+                    fresh += 1;
+                } else {
+                    pending.clear();
+                    report.insts_deleted += 1;
+                }
+                k += 1;
+            }
+            other => pending.push(other),
+        }
+    }
+    out.append(&mut pending);
+    *items = out;
+    report.remap_sym_notes(&old2new);
+}

@@ -1,0 +1,220 @@
+//! Symbolic dependence model over [`Inst`]: which architectural
+//! resources an instruction reads and writes, and which instructions
+//! are ordering barriers.
+//!
+//! The resource set is deliberately coarse.  The whole memory system is
+//! one resource, so every fetch/store start, MEMDATA consumer, and
+//! masked-shift-from-memory stays in program order relative to every
+//! other; the IFU byte stream is one resource for the same reason
+//! (each read consumes stream state).  Stack operations totally order
+//! among themselves through the STKP/stack pair.  Anything touching
+//! per-task or device-visible state the model does not track — base
+//! registers, TPC, I/O transfers, task wakeups, ALUFM — is a *barrier*:
+//! it conflicts with everything, so nothing moves across it and it
+//! moves across nothing.
+//!
+//! Saved-carry consumers (`ADD_CARRY`/`SUB_BORROW`, which read the
+//! carry the *immediately preceding* instruction committed) and
+//! multiply/divide steps (which chain through Q and the previous ALU
+//! result) are not representable as resource edges — they constrain
+//! adjacency, not order — so the scheduler refuses any run containing
+//! them rather than model them here.
+
+use dorado_asm::{ASel, AluOp, BSel, FfOp, FfSlot, Inst};
+
+/// Resource bits (`1 << RM_BASE + k` for RM registers).
+pub mod res {
+    /// The T register.
+    pub const T: u64 = 1 << 0;
+    /// The Q register (shared, §6.2).
+    pub const Q: u64 = 1 << 1;
+    /// The COUNT register (shared, §6.2).
+    pub const COUNT: u64 = 1 << 2;
+    /// The SHIFTCTL register (shared, §6.2).
+    pub const SHIFT: u64 = 1 << 3;
+    /// The emulator stack pointer (§6.3.3).
+    pub const STKP: u64 = 1 << 4;
+    /// The emulator stack contents.
+    pub const STACK: u64 = 1 << 5;
+    /// The subroutine LINK register.
+    pub const LINK: u64 = 1 << 6;
+    /// The memory system: pipe, MEMDATA, and storage, as one resource.
+    pub const MEM: u64 = 1 << 7;
+    /// The IFU operand byte stream.
+    pub const IFU: u64 = 1 << 8;
+    /// First RM register bit; `RM_BASE + k` is register `raddr & 0xf`.
+    pub const RM_BASE: u64 = 32;
+}
+
+/// The read/write/barrier footprint of one instruction.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct Effects {
+    /// Resources read.
+    pub reads: u64,
+    /// Resources written.
+    pub writes: u64,
+    /// Conflicts with everything (unmodelled state).
+    pub barrier: bool,
+}
+
+impl Effects {
+    /// Whether program order between `self` (earlier) and `later` must
+    /// be preserved: any RAW, WAR, or WAW overlap, or either a barrier.
+    pub fn conflicts(&self, later: &Effects) -> bool {
+        self.barrier
+            || later.barrier
+            || self.writes & (later.reads | later.writes) != 0
+            || self.reads & later.writes != 0
+    }
+}
+
+/// Whether `inst` starts a memory reference (fetch or store).
+pub fn starts_mem(inst: &Inst) -> bool {
+    inst.asel.starts_memory_ref()
+}
+
+/// Whether `inst` consumes MEMDATA (B select or masked shift).
+pub fn consumes_memdata(inst: &Inst) -> bool {
+    inst.bsel == BSel::MemData || matches!(inst.ff, FfSlot::Op(FfOp::ShOutM))
+}
+
+/// Whether `inst`'s ALU operation chains on the previous instruction's
+/// saved carry (under the default ALUFM mapping).
+pub fn consumes_carry(inst: &Inst) -> bool {
+    inst.aluop == AluOp::ADD_CARRY || inst.aluop == AluOp::SUB_BORROW
+}
+
+/// Whether `inst` runs a multiply/divide step (chained through Q and
+/// the previous ALU result).
+pub fn is_muldiv(inst: &Inst) -> bool {
+    matches!(inst.ff, FfSlot::Op(FfOp::MulStep | FfOp::DivStep))
+}
+
+/// Computes the [`Effects`] of `inst`.
+pub fn effects(inst: &Inst) -> Effects {
+    use res::*;
+    let mut e = Effects::default();
+    // On a stack operation (BLOCK, task 0) RADDR is a pointer delta,
+    // not a register index: RM traffic becomes stack traffic, totally
+    // ordered through the STKP/STACK pair.
+    let rm = 1u64 << (RM_BASE + u64::from(inst.raddr & 0xf));
+    let rm_read = if inst.block { STKP | STACK } else { rm };
+
+    match inst.asel {
+        ASel::Rm => e.reads |= rm_read,
+        ASel::T => e.reads |= T,
+        ASel::IfuData => {
+            e.reads |= IFU;
+            e.writes |= IFU;
+        }
+        ASel::FetchIfu | ASel::StoreIfu => {
+            e.reads |= IFU | MEM;
+            e.writes |= IFU | MEM;
+        }
+        ASel::FetchR | ASel::StoreR => {
+            e.reads |= rm_read | MEM;
+            e.writes |= MEM;
+        }
+        ASel::FetchT => {
+            e.reads |= T | MEM;
+            e.writes |= MEM;
+        }
+    }
+    match inst.bsel {
+        BSel::Rm => e.reads |= rm_read,
+        BSel::T => e.reads |= T,
+        BSel::Q => e.reads |= Q,
+        BSel::MemData => {
+            e.reads |= MEM;
+            e.writes |= MEM;
+        }
+        _ => {} // constant forms read nothing
+    }
+    if inst.block {
+        e.reads |= STKP | STACK;
+        e.writes |= STKP | STACK;
+    }
+    if inst.load.loads_t() {
+        e.writes |= T;
+    }
+    if inst.load.loads_rm() {
+        e.writes |= if inst.block { STKP | STACK } else { rm };
+    }
+    if consumes_carry(inst) || is_muldiv(inst) {
+        // Adjacency-sensitive; the scheduler refuses the whole run, and
+        // the barrier keeps any other user of `effects` conservative.
+        e.barrier = true;
+    }
+    if let FfSlot::Op(op) = inst.ff {
+        match op {
+            FfOp::Nop | FfOp::ReadRBase | FfOp::ReadMemBase => {}
+            FfOp::ReadStackPtr => e.reads |= STKP,
+            FfOp::ReadCount => e.reads |= COUNT,
+            FfOp::ReadShiftCtl => e.reads |= SHIFT,
+            FfOp::ReadLink => e.reads |= LINK,
+            FfOp::ReadQ => e.reads |= Q,
+            FfOp::LoadStackPtr => e.writes |= STKP,
+            FfOp::LoadCount | FfOp::LoadCountImm(_) => e.writes |= COUNT,
+            FfOp::LoadShiftCtl | FfOp::ShiftCtlImm(_) => e.writes |= SHIFT,
+            FfOp::LoadQ => e.writes |= Q,
+            FfOp::LoadLink => e.writes |= LINK,
+            FfOp::DecCount => {
+                e.reads |= COUNT;
+                e.writes |= COUNT;
+            }
+            FfOp::ShOut | FfOp::ShOutZ => e.reads |= SHIFT | T | rm_read,
+            FfOp::ShOutM => {
+                e.reads |= SHIFT | T | rm_read | MEM;
+                e.writes |= MEM;
+            }
+            FfOp::MulStep | FfOp::DivStep => e.barrier = true,
+            // Base registers, TPC, I/O, task control, ALUFM, IFU PC,
+            // halting: unmodelled or cross-task-visible state.
+            _ => e.barrier = true,
+        }
+    }
+    e
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use dorado_asm::LoadControl;
+
+    #[test]
+    fn raw_war_waw_conflicts() {
+        let producer = effects(&Inst::new().a(ASel::Rm).load_t());
+        let consumer = effects(&Inst::new().a(ASel::T).load_rm());
+        assert!(producer.conflicts(&consumer)); // RAW on T
+        assert!(consumer.conflicts(&producer)); // WAR on T the other way
+        let unrelated = effects(&Inst::new().rm(3).a(ASel::Rm).load_rm());
+        let w = effects(&Inst::new().rm(4).a(ASel::Rm).load_rm());
+        assert!(!unrelated.conflicts(&w)); // distinct RM registers
+    }
+
+    #[test]
+    fn memory_ops_totally_ordered() {
+        let fetch = effects(&Inst::new().a(ASel::FetchR));
+        let consume = effects(&Inst::new().b(BSel::MemData).load_t());
+        let store = effects(&Inst::new().a(ASel::StoreR).b(BSel::T));
+        assert!(fetch.conflicts(&consume));
+        assert!(consume.conflicts(&store));
+        assert!(fetch.conflicts(&store));
+    }
+
+    #[test]
+    fn io_and_task_ops_are_barriers() {
+        assert!(effects(&Inst::new().ff(FfOp::IoOutput)).barrier);
+        assert!(effects(&Inst::new().ff(FfOp::Halt)).barrier);
+        assert!(effects(&Inst::new().ff(FfOp::WriteTpc)).barrier);
+        assert!(!effects(&Inst::new().ff(FfOp::LoadQ)).barrier);
+    }
+
+    #[test]
+    fn stack_ops_share_the_stack_resource() {
+        let push = effects(&Inst::new().stack(1).load_rm());
+        let pop = effects(&Inst::new().stack(-1).a(ASel::Rm).load_t());
+        assert!(push.conflicts(&pop));
+        let _ = LoadControl::None;
+    }
+}

@@ -1,0 +1,66 @@
+//! Placement hints: mine the symbolic listing for conditional branches
+//! whose two arms already sit adjacent (false arm immediately followed
+//! by true arm), and ask the placer to pair-align the false arm.  An
+//! aligned pair lets the branch encode both outcomes in place (§5.5
+//! case A) instead of duplicating arms into relay words, so a won hint
+//! saves store words; the caller keeps the hinted placement only when
+//! it is strictly smaller, so a lost hint costs nothing.
+
+use std::collections::{HashMap, HashSet};
+
+use dorado_asm::{Flow, Item, MicroProgram, PlacementHints};
+
+/// Collects pair-alignment hints from `program`: every branch whose
+/// `when_false` target is immediately followed by its `when_true`
+/// target and is not already aligned.
+pub fn collect(program: &MicroProgram) -> PlacementHints {
+    let mut label_inst: HashMap<&str, usize> = HashMap::new();
+    let mut aligned: HashSet<usize> = HashSet::new();
+    {
+        let mut pending_labels: Vec<&str> = Vec::new();
+        let mut pending_align = false;
+        let mut k = 0usize;
+        for item in program.items() {
+            match item {
+                Item::Label(name) => pending_labels.push(name),
+                Item::PairAlign | Item::Align8 | Item::Align256 | Item::PageBreak => {
+                    pending_align = true;
+                }
+                Item::Inst(_) => {
+                    for name in pending_labels.drain(..) {
+                        label_inst.entry(name).or_insert(k);
+                    }
+                    if std::mem::take(&mut pending_align) {
+                        aligned.insert(k);
+                    }
+                    k += 1;
+                }
+            }
+        }
+    }
+
+    let mut hints = PlacementHints::default();
+    for item in program.items() {
+        let Item::Inst(inst) = item else { continue };
+        let Flow::Branch {
+            when_true,
+            when_false,
+            ..
+        } = &inst.flow
+        else {
+            continue;
+        };
+        let (Some(&f), Some(&t)) = (
+            label_inst.get(when_false.as_str()),
+            label_inst.get(when_true.as_str()),
+        ) else {
+            continue;
+        };
+        if t == f + 1 && !aligned.contains(&f) {
+            hints.pair_align.push(when_false.clone());
+        }
+    }
+    hints.pair_align.sort();
+    hints.pair_align.dedup();
+    hints
+}

@@ -1,0 +1,170 @@
+//! Branch-slot filling: replace placer relay words — which spend a
+//! store word *and* an executed cycle purely re-aiming NEXTPC — with a
+//! copy of the instruction they jump to, re-aimed at that
+//! instruction's own destination.  The copy executes the identical
+//! data path one cycle earlier and transfers control to the same final
+//! address, so the architectural effect of the path is unchanged: the
+//! machine state the destination observes (registers, memory order,
+//! latched flags, saved carry — all committed by the same word
+//! content) is identical, only the relay's wasted cycle disappears.
+//!
+//! Refusal table (each case recorded in the [`OptReport`]):
+//!
+//! * **calls** — `LINK` captures the address after the *call word*;
+//!   copying it into the relay would return into the relay's page;
+//! * **latched-flag branches** — the branch would read flags committed
+//!   by the relay's predecessor instead of the original path (ulint's
+//!   branch-window pass reports the uncopied case as an error anyway);
+//! * **live-condition branches off-page** — the pair base is an
+//!   offset in the branch's own page;
+//! * **saved-carry consumers** — the copy would chain on the carry of
+//!   a different predecessor;
+//! * **MEMDATA consumers on a fetch-less path** — a copy reached only
+//!   via a path that never starts a fetch turns an imprecise-but-quiet
+//!   read into a pinpointed fetch-less read, and the hold-hazard lint
+//!   rightly warns; the fill is declined instead;
+//! * **cross-page targets with a busy FF** — no encoding re-aims the
+//!   copy without clobbering its function or constant;
+//! * **fills that lint worse** — each surviving candidate is applied to
+//!   a scratch copy of the image and re-linted, because a fill also
+//!   *removes* the relay→target edge: a target whose only fetch-started
+//!   path ran through the relay is left stranded as a labelled root
+//!   with no fetch preceding its MEMDATA read.  Trial validation keeps
+//!   every accepted state no worse than the last, so the pipeline's
+//!   final lint gate holds by construction.
+//!
+//! Return, IFUJUMP, and dispatch words are position-independent (LINK,
+//! the IFU, and the FF byte supply absolute addresses), so they copy
+//! verbatim.
+
+use dorado_asm::placer::reroute;
+use dorado_asm::{Cond, ControlOp, FfSlot, Inst, Item, MicroProgram, PlacedProgram, SlotUse};
+use dorado_base::MicroAddr;
+use dorado_ulint::{lint_with_config, Analyses};
+
+use crate::deps::{consumes_carry, consumes_memdata};
+use crate::OptReport;
+
+/// Fills every safe relay in `placed` (the placement of `program`),
+/// consulting `an` (computed over this same placement) for path facts,
+/// recording fills and refusals in `report`.
+pub fn fill(
+    placed: &mut PlacedProgram,
+    program: &MicroProgram,
+    an: &Analyses,
+    report: &mut OptReport,
+) {
+    let insts: Vec<&Inst> = program
+        .items()
+        .iter()
+        .filter_map(|item| match item {
+            Item::Inst(inst) => Some(inst),
+            _ => None,
+        })
+        .collect();
+    let relays: Vec<(MicroAddr, String)> = placed
+        .uses()
+        .iter()
+        .enumerate()
+        .filter_map(|(raw, slot)| match slot {
+            SlotUse::Relay(target) => Some((MicroAddr::new(raw as u16), target.clone())),
+            _ => None,
+        })
+        .collect();
+    let mut current = {
+        let l = lint_with_config(placed, &an.config);
+        (l.errors(), l.warnings())
+    };
+    for (at, target) in relays {
+        let Some(dest) = placed.address_of(&target) else {
+            report.refuse("relay target label is unplaced");
+            continue;
+        };
+        let SlotUse::Inst(i) = placed.uses()[dest.raw() as usize] else {
+            report.refuse("relay target is not an instruction word");
+            continue;
+        };
+        let word = placed.word(dest);
+        let Ok(control) = word.control() else {
+            report.refuse("relay target control does not decode");
+            continue;
+        };
+        let Some(&inst) = insts.get(i) else {
+            report.refuse("relay target index out of range");
+            continue;
+        };
+        if consumes_carry(inst) {
+            report.refuse("relay target chains on the saved carry");
+            continue;
+        }
+        if consumes_memdata(inst) && !an.fetch_started[at.raw() as usize] {
+            report.refuse("relay target reads MEMDATA and no fetch precedes the relay");
+            continue;
+        }
+        let candidate = match control {
+            ControlOp::Call { .. } | ControlOp::CallLong { .. } => {
+                report.refuse("relay target is a call (LINK captures the wrong address)");
+                continue;
+            }
+            // Position-independent: copy verbatim.
+            ControlOp::Return | ControlOp::IfuJump | ControlOp::Dispatch8 { .. }
+            | ControlOp::Dispatch256 => word,
+            ControlOp::CondGoto { cond, .. } => {
+                let latched = matches!(
+                    cond,
+                    Cond::Zero | Cond::Neg | Cond::Carry | Cond::Overflow | Cond::ROdd
+                );
+                if latched {
+                    report.refuse("relay target branches on latched flags");
+                    continue;
+                }
+                if dest.page() != at.page() {
+                    report.refuse("relay target branch pair is on another page");
+                    continue;
+                }
+                word
+            }
+            ControlOp::Goto { .. } | ControlOp::GotoLong { .. } => {
+                let Some(next) = control.static_next(dest, word.ff()) else {
+                    report.refuse("relay target has no static successor");
+                    continue;
+                };
+                // The FF byte is reclaimable when the instruction never
+                // claimed it, or when it already held a page number.
+                let ff_free = matches!(inst.ff, FfSlot::Free) || control.uses_ff_page();
+                let Some((new_control, flow_ff)) = reroute(at, next, ff_free, false) else {
+                    report.refuse("cross-page target and the FF byte is busy");
+                    continue;
+                };
+                let new_ff = if new_control.uses_ff_page() {
+                    flow_ff
+                } else if control.uses_ff_page() {
+                    0x00 // the old page byte would decode as a function
+                } else {
+                    word.ff()
+                };
+                word.with_control(new_control).with_ff(new_ff)
+            }
+        };
+        // Trial-validate on a scratch image: the fill also severs the
+        // relay→target edge, which can strand the (still labelled)
+        // target without the fetch-started path that kept it quiet.
+        let mut trial = placed.clone();
+        trial.fill_relay(at, candidate, i);
+        let l = lint_with_config(&trial, &an.config);
+        if l.errors() <= current.0 && l.warnings() <= current.1 {
+            current = (l.errors(), l.warnings());
+            *placed = trial;
+            note_fill(report, at, &target);
+        } else {
+            report.refuse("fill would strand the target from the paths that kept it lint-clean");
+        }
+    }
+}
+
+fn note_fill(report: &mut OptReport, at: MicroAddr, target: &str) {
+    report.relays_filled += 1;
+    report
+        .notes
+        .push((at, format!("uopt slotfill: relay filled with a copy of `{target}`")));
+}

@@ -18,6 +18,7 @@
 //! | [`cluster`] | `dorado-cluster` | Ethernet fabric, epoch-parallel executor, RPC workloads |
 //! | [`lang`] | `dorado-lang` | a Mesa-like source language compiling to the byte codes |
 //! | [`ulint`] | `dorado-ulint` | microcode static analyzer with simulator-validated hazard lints |
+//! | [`uopt`] | `dorado-uopt` | analysis-driven microcode optimizer gated by `ulint` |
 //!
 //! # Example
 //!
@@ -53,3 +54,4 @@ pub use dorado_lang as lang;
 pub use dorado_io as io;
 pub use dorado_mem as mem;
 pub use dorado_ulint as ulint;
+pub use dorado_uopt as uopt;
